@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 5: how one driver instance's 256 ring buffers map onto the 256
+ * page-aligned cache sets -- a non-uniform scatter (some sets host 5
+ * buffers, some none).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "testbed/testbed.hh"
+
+using namespace pktchase;
+
+int
+main()
+{
+    bench::banner("Fig. 5",
+                  "Ring buffers per page-aligned cache set, one driver "
+                  "instance (paper: up to 5 on one set, none on others)");
+
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    std::vector<unsigned> counts(
+        tb.config().llc.geom.pageAlignedCombos(), 0);
+    for (std::size_t c : tb.ringComboSequence())
+        ++counts[c];
+
+    unsigned max_count = 0;
+    for (unsigned c : counts)
+        max_count = std::max(max_count, c);
+
+    // ASCII rendition of the figure: one column per 4 sets.
+    std::printf("  buffers\n");
+    for (unsigned level = max_count; level >= 1; --level) {
+        std::printf("  %5u | ", level);
+        for (std::size_t c = 0; c < counts.size(); c += 4) {
+            unsigned peak = 0;
+            for (std::size_t k = c; k < c + 4 && k < counts.size(); ++k)
+                peak = std::max(peak, counts[k]);
+            std::putchar(peak >= level ? '#' : ' ');
+        }
+        std::putchar('\n');
+    }
+    std::printf("        +-%.*s\n", 64,
+                "----------------------------------------------------"
+                "------------");
+    std::printf("          cache set number 0..255 (4 sets/column)\n\n");
+
+    std::vector<unsigned> freq(max_count + 1, 0);
+    for (unsigned c : counts)
+        ++freq[c];
+    std::printf("  %-26s %s\n", "buffers mapped to a set", "sets");
+    bench::rule(40);
+    for (unsigned k = 0; k <= max_count; ++k)
+        std::printf("  %-26u %u\n", k, freq[k]);
+    std::printf("\n  max buffers on one set: %u (paper's example: 5)\n",
+                max_count);
+    return 0;
+}

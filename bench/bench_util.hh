@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: headers and simple
+ * fixed-width table output so every bench prints rows comparable to
+ * the paper's tables and figure series.
+ */
+
+#ifndef PKTCHASE_BENCH_BENCH_UTIL_HH
+#define PKTCHASE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace pktchase::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("== Packet Chasing reproduction: %s ==\n", artifact);
+    std::printf("%s\n\n", description);
+}
+
+/** Print a horizontal rule. */
+inline void
+rule(unsigned width = 72)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace pktchase::bench
+
+#endif // PKTCHASE_BENCH_BENCH_UTIL_HH

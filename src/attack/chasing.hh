@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Packet chasing proper: following packets buffer-by-buffer along the
+ * recovered ring sequence (Secs. III-C, IV-c, V).
+ *
+ * Instead of probing all 256 page-aligned sets, the spy probes only the
+ * sets of the *next expected* buffer -- the first four blocks of both
+ * half-pages, since the driver flips halves for large packets -- and
+ * advances on every detected packet, classifying its size in cache
+ * blocks (1..4+). Losing a packet desynchronizes the spy from the ring;
+ * it then parks on the current buffer until the ring wraps around and
+ * fills it again (one out-of-sync event, Fig. 12c).
+ */
+
+#ifndef PKTCHASE_ATTACK_CHASING_HH
+#define PKTCHASE_ATTACK_CHASING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/prime_probe.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pktchase::attack
+{
+
+/** Chasing parameters. */
+struct ChasingConfig
+{
+    Cycles missThreshold = 130;
+    unsigned ways = 20;
+
+    /** Blocks probed per half-page (4 -> size classes 1..4+). */
+    unsigned sizeBlocks = 4;
+
+    /**
+     * First in-page block row to probe. The web-fingerprint attack
+     * probes rows 0..3; the covert channel probes rows 1..3 (Sec.
+     * IV-b) -- row 1 fires for every packet thanks to the driver
+     * prefetch, acting as the clock, and dropping row 0 cuts probe
+     * cost enough to chase line-rate-ish senders.
+     */
+    unsigned firstBlock = 0;
+
+    /**
+     * Probe only the lower half-page. Correct whenever the traffic
+     * stays at or below the copy-break threshold (no page flips), and
+     * halves the probe cost -- the covert channel uses this.
+     */
+    bool lowerHalfOnly = false;
+
+    /** Gap between consecutive per-buffer probes. */
+    Cycles probeInterval = 4000;
+
+    /**
+     * Cycles without activity on the expected buffer before declaring
+     * out-of-sync and waiting for the ring to wrap.
+     */
+    Cycles resyncTimeout = 5'000'000;
+};
+
+/** One observed packet. */
+struct PacketObservation
+{
+    Cycles when = 0;
+    unsigned sizeClass = 0;  ///< 1..sizeBlocks ("4" means >= 4 blocks).
+    bool secondHalf = false; ///< Landed in the upper half of the page.
+    std::size_t slot = 0;    ///< Ring slot the spy attributed it to.
+};
+
+/** Outcome of a chase. */
+struct ChaseResult
+{
+    std::vector<PacketObservation> packets;
+    std::uint64_t outOfSyncEvents = 0;
+    std::uint64_t probes = 0;
+    std::size_t finalSlot = 0; ///< Where the spy ended up.
+};
+
+/**
+ * Follows the recovered buffer sequence and records packet sizes.
+ */
+class ChasingMonitor
+{
+  public:
+    /**
+     * @param hier      Timing oracle.
+     * @param groups    Combo partition of the spy pool.
+     * @param combo_seq Recovered ring order as combo ids (one entry
+     *                  per ring slot the spy can see).
+     * @param cfg       Probe cadence and thresholds.
+     */
+    ChasingMonitor(cache::Hierarchy &hier, const ComboGroups &groups,
+                   std::vector<std::size_t> combo_seq,
+                   const ChasingConfig &cfg);
+
+    /**
+     * Chase packets on @p eq until @p horizon (traffic pumps must
+     * already be scheduled).
+     */
+    ChaseResult chase(EventQueue &eq, Cycles horizon);
+
+  private:
+    cache::Hierarchy &hier_;
+    std::vector<std::size_t> comboSeq_;
+    ChasingConfig cfg_;
+
+    /**
+     * Per ring slot: one PrimeProbeMonitor over 2*sizeBlocks sets
+     * (blocks 0..3 of each half-page).
+     */
+    std::vector<PrimeProbeMonitor> slotMonitors_;
+
+    /**
+     * Classify a probe round: 0 = no packet; otherwise the size class,
+     * with @p second_half set when the upper half fired.
+     */
+    unsigned classify(const ProbeSample &s, bool &second_half) const;
+};
+
+} // namespace pktchase::attack
+
+#endif // PKTCHASE_ATTACK_CHASING_HH

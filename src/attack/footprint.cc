@@ -1,0 +1,84 @@
+#include "footprint.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::attack
+{
+
+namespace
+{
+
+std::vector<EvictionSet>
+makeSets(const ComboGroups &groups, const std::vector<std::size_t> &combos,
+         unsigned ways)
+{
+    std::vector<EvictionSet> sets;
+    sets.reserve(combos.size());
+    for (std::size_t c : combos)
+        sets.push_back(groups.evictionSetFor(c, ways));
+    return sets;
+}
+
+} // namespace
+
+FootprintScanner::FootprintScanner(cache::Hierarchy &hier,
+                                   const ComboGroups &groups,
+                                   std::vector<std::size_t> combos,
+                                   const FootprintConfig &cfg)
+    : hier_(hier), combos_(std::move(combos)), cfg_(cfg),
+      monitor_(hier, makeSets(groups, combos_, cfg.ways),
+               cfg.missThreshold)
+{
+}
+
+std::vector<ProbeSample>
+FootprintScanner::scan(EventQueue &eq, Cycles horizon)
+{
+    std::vector<ProbeSample> samples;
+    const Cycles interval = secondsToCycles(1.0 / cfg_.probeRateHz);
+
+    monitor_.primeAll(eq.now());
+
+    // Self-rescheduling probe event; the shared queue interleaves any
+    // traffic pumps with the probe rounds.
+    std::function<void()> round = [&] {
+        ProbeSample s = monitor_.probeAll(eq.now());
+        const Cycles cost = s.end - s.start;
+        samples.push_back(std::move(s));
+        const Cycles next = eq.now() + std::max(interval, cost);
+        if (next <= horizon)
+            eq.schedule(next, round);
+    };
+    eq.schedule(eq.now(), round);
+    eq.runUntil(horizon);
+    return samples;
+}
+
+std::vector<double>
+FootprintScanner::activityRates(const std::vector<ProbeSample> &samples)
+{
+    if (samples.empty())
+        return {};
+    std::vector<double> rates(samples[0].active.size(), 0.0);
+    for (const ProbeSample &s : samples)
+        for (std::size_t i = 0; i < s.active.size(); ++i)
+            rates[i] += s.active[i];
+    for (double &r : rates)
+        r /= static_cast<double>(samples.size());
+    return rates;
+}
+
+std::vector<std::size_t>
+FootprintScanner::candidateBufferSets(
+    const std::vector<ProbeSample> &samples, double idle_cutoff,
+    double always_cutoff)
+{
+    std::vector<std::size_t> out;
+    const std::vector<double> rates = activityRates(samples);
+    for (std::size_t i = 0; i < rates.size(); ++i)
+        if (rates[i] > idle_cutoff && rates[i] < always_cutoff)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace pktchase::attack

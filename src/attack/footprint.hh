@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ring-buffer cache footprint recovery (Sec. III-B, Figs. 5-7).
+ *
+ * The scanner probes all page-aligned combos at a configurable rate
+ * while traffic flows, producing the Fig. 7 activity raster; comparing
+ * activity during idle and receiving windows identifies which combos
+ * host rx buffers (the non-uniform mapping of Figs. 5-6 means ~35% of
+ * page-aligned sets host none).
+ */
+
+#ifndef PKTCHASE_ATTACK_FOOTPRINT_HH
+#define PKTCHASE_ATTACK_FOOTPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/prime_probe.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pktchase::attack
+{
+
+/** Scanner configuration. */
+struct FootprintConfig
+{
+    double probeRateHz = 8000;   ///< Full probe rounds per second.
+    Cycles missThreshold = 130;
+    unsigned ways = 20;          ///< Eviction set size to use.
+};
+
+/**
+ * Probes a list of combos periodically and records activity rasters.
+ */
+class FootprintScanner
+{
+  public:
+    /**
+     * @param hier   Timing oracle.
+     * @param groups Combo partition of the spy's pool.
+     * @param combos Which combos to monitor (typically all).
+     * @param cfg    Probe rate and threshold.
+     */
+    FootprintScanner(cache::Hierarchy &hier, const ComboGroups &groups,
+                     std::vector<std::size_t> combos,
+                     const FootprintConfig &cfg);
+
+    /**
+     * Schedule probe rounds on @p eq from its current time until
+     * @p horizon and run the queue (interleaving with any traffic
+     * pumps already scheduled).
+     *
+     * @return One ProbeSample per round, in time order.
+     */
+    std::vector<ProbeSample> scan(EventQueue &eq, Cycles horizon);
+
+    /**
+     * Fraction of rounds in which each monitored combo was active.
+     */
+    static std::vector<double>
+    activityRates(const std::vector<ProbeSample> &samples);
+
+    /**
+     * Indices (into the monitored combo list) whose activity rate lies
+     * in (idle_cutoff, always_cutoff): candidate rx-buffer sets.
+     */
+    static std::vector<std::size_t>
+    candidateBufferSets(const std::vector<ProbeSample> &samples,
+                        double idle_cutoff, double always_cutoff);
+
+    /** The monitored combo ids, in monitor order. */
+    const std::vector<std::size_t> &combos() const { return combos_; }
+
+  private:
+    cache::Hierarchy &hier_;
+    std::vector<std::size_t> combos_;
+    FootprintConfig cfg_;
+    PrimeProbeMonitor monitor_;
+};
+
+} // namespace pktchase::attack
+
+#endif // PKTCHASE_ATTACK_FOOTPRINT_HH

@@ -1,0 +1,74 @@
+#include "prime_probe.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::attack
+{
+
+PrimeProbeMonitor::PrimeProbeMonitor(cache::Hierarchy &hier,
+                                     std::vector<EvictionSet> sets,
+                                     Cycles miss_threshold)
+    : hier_(hier), sets_(std::move(sets)), missThreshold_(miss_threshold)
+{
+    if (sets_.empty())
+        panic("PrimeProbeMonitor needs at least one eviction set");
+}
+
+Cycles
+PrimeProbeMonitor::primeAll(Cycles now)
+{
+    Cycles t = now;
+    for (const EvictionSet &es : sets_) {
+        for (Addr a : es.addrs) {
+            t += hier_.timedRead(a, t);
+            ++timedLoads_;
+        }
+    }
+    return t - now;
+}
+
+unsigned
+PrimeProbeMonitor::probeOne(std::size_t index, Cycles now,
+                            Cycles &elapsed)
+{
+    if (index >= sets_.size())
+        panic("PrimeProbeMonitor::probeOne out of range");
+    Cycles t = now;
+    unsigned misses = 0;
+    for (Addr a : sets_[index].addrs) {
+        const Cycles lat = hier_.timedRead(a, t);
+        t += lat;
+        ++timedLoads_;
+        if (lat > missThreshold_)
+            ++misses;
+    }
+    elapsed = t - now;
+    return misses;
+}
+
+ProbeSample
+PrimeProbeMonitor::probeAll(Cycles now)
+{
+    ProbeSample s;
+    s.start = now;
+    s.active.resize(sets_.size(), 0);
+    Cycles t = now;
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+        Cycles elapsed = 0;
+        const unsigned misses = probeOne(i, t, elapsed);
+        t += elapsed;
+        s.active[i] = misses > 0 ? 1 : 0;
+    }
+    s.end = t;
+    return s;
+}
+
+void
+PrimeProbeMonitor::replaceSet(std::size_t index, EvictionSet set)
+{
+    if (index >= sets_.size())
+        panic("PrimeProbeMonitor::replaceSet out of range");
+    sets_[index] = std::move(set);
+}
+
+} // namespace pktchase::attack

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PRIME+PROBE primitives over eviction sets (the Mastik role).
+ *
+ * A probe of one eviction set reads all of its addresses and reports
+ * whether any read missed (someone displaced the spy's line since the
+ * previous probe). Probing doubles as re-priming, so a monitor loop is
+ * simply repeated probes. Probe cost is accounted in simulated cycles:
+ * the monitor consumes time exactly as the real attacker does, which is
+ * what bounds how many sets can be watched at a given resolution
+ * (Sec. III-B's "12 million cycles to access the entire cache").
+ */
+
+#ifndef PKTCHASE_ATTACK_PRIME_PROBE_HH
+#define PKTCHASE_ATTACK_PRIME_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/eviction_set.hh"
+#include "cache/hierarchy.hh"
+#include "sim/types.hh"
+
+namespace pktchase::attack
+{
+
+/** One probe round over a monitor list. */
+struct ProbeSample
+{
+    Cycles start = 0;               ///< When the round began.
+    Cycles end = 0;                 ///< When it finished.
+    std::vector<std::uint8_t> active; ///< Per-set: any miss observed.
+};
+
+/**
+ * Probes a list of eviction sets and reports per-set activity.
+ */
+class PrimeProbeMonitor
+{
+  public:
+    /**
+     * @param hier           Timing oracle.
+     * @param sets           Eviction sets to monitor (copied).
+     * @param miss_threshold Latency above which a read counts as a miss.
+     */
+    PrimeProbeMonitor(cache::Hierarchy &hier,
+                      std::vector<EvictionSet> sets,
+                      Cycles miss_threshold = 130);
+
+    /**
+     * Prime all sets (initial fill) starting at @p now.
+     * @return Cycles consumed.
+     */
+    Cycles primeAll(Cycles now);
+
+    /**
+     * One probe round over every monitored set starting at @p now.
+     */
+    ProbeSample probeAll(Cycles now);
+
+    /**
+     * Probe a single monitored set.
+     * @return Number of missing (evicted) lines observed.
+     */
+    unsigned probeOne(std::size_t index, Cycles now, Cycles &elapsed);
+
+    /** Replace the eviction set at @p index (always-miss fallback). */
+    void replaceSet(std::size_t index, EvictionSet set);
+
+    /** Number of monitored sets. */
+    std::size_t size() const { return sets_.size(); }
+
+    /** Read-only access to a monitored set. */
+    const EvictionSet &set(std::size_t i) const { return sets_[i]; }
+
+    /** Total timed loads issued (attack cost metric). */
+    std::uint64_t timedLoads() const { return timedLoads_; }
+
+  private:
+    cache::Hierarchy &hier_;
+    std::vector<EvictionSet> sets_;
+    Cycles missThreshold_;
+    std::uint64_t timedLoads_ = 0;
+};
+
+} // namespace pktchase::attack
+
+#endif // PKTCHASE_ATTACK_PRIME_PROBE_HH

@@ -1,0 +1,82 @@
+#include "size_detector.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::attack
+{
+
+SizeDetector::SizeDetector(cache::Hierarchy &hier,
+                           const ComboGroups &groups,
+                           std::vector<std::size_t> combos,
+                           const SizeDetectorConfig &cfg)
+    : hier_(hier), combos_(std::move(combos)), cfg_(cfg)
+{
+    if (combos_.empty())
+        panic("SizeDetector needs at least one combo");
+    rowMonitors_.reserve(cfg_.rows);
+    for (unsigned row = 0; row < cfg_.rows; ++row) {
+        std::vector<EvictionSet> sets;
+        sets.reserve(combos_.size());
+        for (std::size_t c : combos_)
+            sets.push_back(
+                groups.evictionSetFor(c, cfg_.ways).atBlock(row));
+        rowMonitors_.emplace_back(hier_, std::move(sets),
+                                  cfg_.missThreshold);
+    }
+}
+
+std::vector<std::vector<double>>
+SizeDetector::measure(EventQueue &eq, Cycles horizon)
+{
+    std::vector<std::vector<std::uint64_t>> hits(
+        cfg_.rows, std::vector<std::uint64_t>(combos_.size(), 0));
+    std::uint64_t rounds = 0;
+    const Cycles interval = secondsToCycles(1.0 / cfg_.probeRateHz);
+
+    for (auto &m : rowMonitors_)
+        m.primeAll(eq.now());
+
+    std::function<void()> round = [&] {
+        Cycles t = eq.now();
+        for (unsigned row = 0; row < cfg_.rows; ++row) {
+            ProbeSample s = rowMonitors_[row].probeAll(t);
+            t = s.end;
+            for (std::size_t c = 0; c < combos_.size(); ++c)
+                hits[row][c] += s.active[c];
+        }
+        ++rounds;
+        const Cycles cost = t - eq.now();
+        const Cycles next = eq.now() + std::max(interval, cost);
+        if (next <= horizon)
+            eq.schedule(next, round);
+    };
+    eq.schedule(eq.now(), round);
+    eq.runUntil(horizon);
+
+    std::vector<std::vector<double>> rates(
+        cfg_.rows, std::vector<double>(combos_.size(), 0.0));
+    if (rounds == 0)
+        return rates;
+    for (unsigned row = 0; row < cfg_.rows; ++row)
+        for (std::size_t c = 0; c < combos_.size(); ++c)
+            rates[row][c] = static_cast<double>(hits[row][c]) /
+                static_cast<double>(rounds);
+    return rates;
+}
+
+std::vector<double>
+SizeDetector::rowActivity(const std::vector<std::vector<double>> &m)
+{
+    std::vector<double> out;
+    out.reserve(m.size());
+    for (const auto &row : m) {
+        double sum = 0.0;
+        for (double v : row)
+            sum += v;
+        out.push_back(row.empty() ? 0.0
+                                  : sum / static_cast<double>(row.size()));
+    }
+    return out;
+}
+
+} // namespace pktchase::attack

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Packet-size detection over block-row eviction sets (Fig. 8).
+ *
+ * The detector probes "rows": the eviction sets of in-page block k
+ * (k = 0..3) across a list of combos. When a stream of packets of a
+ * given size flows, rows up to the packet's block count show activity
+ * and higher rows stay quiet -- except row 1, which always fires
+ * because the driver prefetches the second block regardless of size
+ * (the Fig. 8 anomaly).
+ */
+
+#ifndef PKTCHASE_ATTACK_SIZE_DETECTOR_HH
+#define PKTCHASE_ATTACK_SIZE_DETECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/prime_probe.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pktchase::attack
+{
+
+/** Size-detector parameters. */
+struct SizeDetectorConfig
+{
+    unsigned rows = 4;            ///< Block rows 0..rows-1.
+    double probeRateHz = 8000;
+    Cycles missThreshold = 130;
+    unsigned ways = 20;
+};
+
+/**
+ * Probes block rows of the monitored combos and reports per-row and
+ * per-(row, combo) activity rates.
+ */
+class SizeDetector
+{
+  public:
+    SizeDetector(cache::Hierarchy &hier, const ComboGroups &groups,
+                 std::vector<std::size_t> combos,
+                 const SizeDetectorConfig &cfg);
+
+    /**
+     * Probe until @p horizon (traffic already scheduled on @p eq).
+     * @return activity[row][combo] as a fraction of probe rounds.
+     */
+    std::vector<std::vector<double>> measure(EventQueue &eq,
+                                             Cycles horizon);
+
+    /** Collapse a measure() result to per-row mean activity. */
+    static std::vector<double>
+    rowActivity(const std::vector<std::vector<double>> &m);
+
+  private:
+    cache::Hierarchy &hier_;
+    std::vector<std::size_t> combos_;
+    SizeDetectorConfig cfg_;
+    std::vector<PrimeProbeMonitor> rowMonitors_;
+};
+
+} // namespace pktchase::attack
+
+#endif // PKTCHASE_ATTACK_SIZE_DETECTOR_HH

@@ -1,0 +1,456 @@
+#include "llc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pktchase::cache
+{
+
+Llc::Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash)
+    : cfg_(cfg), hash_(std::move(hash))
+{
+    if (!hash_)
+        fatal("Llc requires a slice hash");
+    if (hash_->slices() != cfg_.geom.slices)
+        fatal("Llc: slice hash width does not match geometry");
+    if (cfg_.geom.ways > 32)
+        fatal("Llc: way masks support at most 32 ways");
+    if (cfg_.ddioWays == 0 || cfg_.ddioWays > cfg_.geom.ways)
+        fatal("Llc: ddioWays out of range");
+    if (cfg_.adaptivePartition) {
+        if (cfg_.ioLinesMin == 0 || cfg_.ioLinesMin > cfg_.ioLinesMax ||
+            cfg_.ioLinesMax >= cfg_.geom.ways) {
+            fatal("Llc: bad adaptive partition bounds");
+        }
+        if (cfg_.ioLinesInit < cfg_.ioLinesMin ||
+            cfg_.ioLinesInit > cfg_.ioLinesMax) {
+            fatal("Llc: ioLinesInit outside [min, max]");
+        }
+        if (cfg_.adaptPeriod == 0)
+            fatal("Llc: adaptPeriod must be nonzero");
+    }
+
+    const std::size_t sets = cfg_.geom.totalSets();
+    lines_.assign(sets * cfg_.geom.ways, Line{});
+    repl_ = makeReplacement(cfg_.replacement, sets, cfg_.geom.ways,
+                            Rng(cfg_.seed));
+    if (cfg_.adaptivePartition) {
+        part_.assign(sets, PartState{
+            static_cast<std::uint8_t>(cfg_.ioLinesInit), 0, 0, 0});
+    }
+}
+
+Llc::Line &
+Llc::line(std::size_t gset, unsigned way)
+{
+    return lines_[gset * cfg_.geom.ways + way];
+}
+
+const Llc::Line &
+Llc::line(std::size_t gset, unsigned way) const
+{
+    return lines_[gset * cfg_.geom.ways + way];
+}
+
+int
+Llc::findWay(std::size_t gset, Addr block) const
+{
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
+        const Line &l = line(gset, w);
+        if (l.valid && l.block == block)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+Llc::findInvalid(std::size_t gset) const
+{
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w)
+        if (!line(gset, w).valid)
+            return static_cast<int>(w);
+    return -1;
+}
+
+WayMask
+Llc::kindMask(std::size_t gset, bool want_io) const
+{
+    WayMask mask = 0;
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
+        const Line &l = line(gset, w);
+        if (l.valid && l.isIo == want_io)
+            mask |= WayMask(1) << w;
+    }
+    return mask;
+}
+
+unsigned
+Llc::validCount(std::size_t gset) const
+{
+    unsigned n = 0;
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w)
+        if (line(gset, w).valid)
+            ++n;
+    return n;
+}
+
+unsigned
+Llc::ioCount(std::size_t gset) const
+{
+    unsigned n = 0;
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
+        const Line &l = line(gset, w);
+        if (l.valid && l.isIo)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+Llc::ioPartitionSize(std::size_t gset) const
+{
+    if (!cfg_.adaptivePartition)
+        return cfg_.ddioWays;
+    return part_[gset].ioLines;
+}
+
+void
+Llc::evict(std::size_t gset, unsigned way, bool filler_is_io)
+{
+    Line &l = line(gset, way);
+    if (!l.valid)
+        panic("Llc::evict of invalid way");
+    if (l.dirty)
+        ++stats_.writebacks;
+    if (l.isIo) {
+        if (filler_is_io)
+            ++stats_.ioEvictedByIo;
+        else
+            ++stats_.ioEvictedByCpu;
+    } else {
+        if (filler_is_io)
+            ++stats_.cpuEvictedByIo;
+        else
+            ++stats_.cpuEvictedByCpu;
+    }
+    l.valid = false;
+    l.dirty = false;
+    repl_->reset(gset, way);
+}
+
+unsigned
+Llc::cpuFill(std::size_t gset, Addr block, bool dirty)
+{
+    ++stats_.memReads;
+    int way = -1;
+
+    if (cfg_.adaptivePartition) {
+        const unsigned cpu_quota =
+            cfg_.geom.ways - part_[gset].ioLines;
+        const WayMask cpu_mask = kindMask(gset, false);
+        const auto cpu_count =
+            static_cast<unsigned>(std::popcount(cpu_mask));
+        if (cpu_count >= cpu_quota) {
+            // Partition full: displace another CPU line, never I/O.
+            way = static_cast<int>(repl_->victim(gset, cpu_mask));
+            evict(gset, static_cast<unsigned>(way), false);
+        } else {
+            way = findInvalid(gset);
+            if (way < 0) {
+                // All ways valid yet CPU under quota: the I/O side is
+                // over its bound (cannot happen if enforcement ran).
+                panic("Llc::cpuFill: partition accounting broken");
+            }
+        }
+    } else {
+        way = findInvalid(gset);
+        if (way < 0) {
+            const WayMask all =
+                (cfg_.geom.ways >= 32) ? ~WayMask(0)
+                : ((WayMask(1) << cfg_.geom.ways) - 1);
+            way = static_cast<int>(repl_->victim(gset, all));
+            evict(gset, static_cast<unsigned>(way), false);
+        }
+    }
+
+    Line &l = line(gset, static_cast<unsigned>(way));
+    l.block = block;
+    l.valid = true;
+    l.dirty = dirty;
+    l.isIo = false;
+    repl_->touch(gset, static_cast<unsigned>(way));
+    return static_cast<unsigned>(way);
+}
+
+void
+Llc::ioFill(std::size_t gset, Addr block)
+{
+    ++stats_.ioAllocations;
+    const unsigned cap = cfg_.adaptivePartition
+        ? part_[gset].ioLines : cfg_.ddioWays;
+    const WayMask io_mask = kindMask(gset, true);
+    const auto io_count = static_cast<unsigned>(std::popcount(io_mask));
+
+    int way = -1;
+    if (io_count >= cap) {
+        // DDIO cap (or partition bound) reached: recycle an I/O line.
+        way = static_cast<int>(repl_->victim(gset, io_mask));
+        evict(gset, static_cast<unsigned>(way), true);
+    } else if (cfg_.adaptivePartition) {
+        // Defense: the partition guarantees a free slot for I/O.
+        way = findInvalid(gset);
+        if (way < 0)
+            panic("Llc::ioFill: partition accounting broken");
+    } else {
+        // Baseline DDIO: take an invalid way if available, otherwise
+        // displace whatever the policy picks -- including CPU lines.
+        // This is the eviction the spy observes.
+        way = findInvalid(gset);
+        if (way < 0) {
+            const WayMask all =
+                (cfg_.geom.ways >= 32) ? ~WayMask(0)
+                : ((WayMask(1) << cfg_.geom.ways) - 1);
+            way = static_cast<int>(repl_->victim(gset, all));
+            evict(gset, static_cast<unsigned>(way), true);
+        }
+    }
+
+    Line &l = line(gset, static_cast<unsigned>(way));
+    l.block = block;
+    l.valid = true;
+    l.dirty = true;  // DDIO lines are written back only on eviction.
+    l.isIo = true;
+    repl_->touch(gset, static_cast<unsigned>(way));
+}
+
+bool
+Llc::cpuRead(Addr paddr, Cycles now)
+{
+    ++stats_.cpuReads;
+    const Addr block = paddr >> blockShift;
+    const std::size_t gset = globalSet(paddr);
+    if (cfg_.adaptivePartition)
+        catchUpPartition(gset, now);
+
+    const int way = findWay(gset, block);
+    if (way >= 0) {
+        repl_->touch(gset, static_cast<unsigned>(way));
+        return true;
+    }
+    ++stats_.cpuReadMisses;
+    cpuFill(gset, block, false);
+    return false;
+}
+
+bool
+Llc::cpuWrite(Addr paddr, Cycles now)
+{
+    ++stats_.cpuWrites;
+    const Addr block = paddr >> blockShift;
+    const std::size_t gset = globalSet(paddr);
+    if (cfg_.adaptivePartition)
+        catchUpPartition(gset, now);
+
+    const int way = findWay(gset, block);
+    if (way >= 0) {
+        Line &l = line(gset, static_cast<unsigned>(way));
+        if (l.isIo && cfg_.adaptivePartition) {
+            // Defense: ownership may not silently flip -- that would
+            // leave the CPU side over quota and the I/O side under-
+            // counted. Move the line across the boundary properly:
+            // drop the I/O copy and refill as a CPU line (with a CPU-
+            // partition eviction if the quota is full).
+            if (l.dirty)
+                ++stats_.writebacks;
+            l.valid = false;
+            l.dirty = false;
+            repl_->reset(gset, static_cast<unsigned>(way));
+            ++stats_.invalidations;
+            cpuFill(gset, block, true);
+            --stats_.memReads; // on-chip move, not a demand fill
+            return true;
+        }
+        l.dirty = true;
+        // A CPU write to a DDIO line takes ownership (the driver copied
+        // or consumed the packet); it is no longer an I/O line.
+        l.isIo = false;
+        repl_->touch(gset, static_cast<unsigned>(way));
+        return true;
+    }
+    ++stats_.cpuWriteMisses;
+    cpuFill(gset, block, true);
+    return false;
+}
+
+void
+Llc::ioWrite(Addr paddr, Cycles now)
+{
+    ++stats_.ioWrites;
+    const Addr block = paddr >> blockShift;
+    const std::size_t gset = globalSet(paddr);
+    if (cfg_.adaptivePartition)
+        catchUpPartition(gset, now);
+
+    const int way = findWay(gset, block);
+    if (way >= 0) {
+        Line &l = line(gset, static_cast<unsigned>(way));
+        if (!l.isIo && cfg_.adaptivePartition) {
+            // Defense: DMA may not silently convert a CPU line into an
+            // I/O line (that would grow the I/O side past its bound).
+            // Invalidate the stale copy and allocate in the partition.
+            ++stats_.invalidations;
+            l.valid = false;
+            l.dirty = false;
+            repl_->reset(gset, static_cast<unsigned>(way));
+            ioFill(gset, block);
+        } else {
+            ++stats_.ioWriteHits;
+            l.dirty = true;
+            l.isIo = true;
+            repl_->touch(gset, static_cast<unsigned>(way));
+        }
+        return;
+    }
+    ioFill(gset, block);
+}
+
+void
+Llc::invalidateBlock(Addr paddr)
+{
+    const Addr block = paddr >> blockShift;
+    const std::size_t gset = globalSet(paddr);
+    const int way = findWay(gset, block);
+    if (way < 0)
+        return;
+    Line &l = line(gset, static_cast<unsigned>(way));
+    // The DMA engine just overwrote memory; the cached copy is stale,
+    // so it is dropped without writeback.
+    l.valid = false;
+    l.dirty = false;
+    repl_->reset(gset, static_cast<unsigned>(way));
+    ++stats_.invalidations;
+}
+
+bool
+Llc::contains(Addr paddr) const
+{
+    return findWay(globalSet(paddr), paddr >> blockShift) >= 0;
+}
+
+bool
+Llc::containsIoLine(Addr paddr) const
+{
+    const std::size_t gset = globalSet(paddr);
+    const int way = findWay(gset, paddr >> blockShift);
+    return way >= 0 && line(gset, static_cast<unsigned>(way)).isIo;
+}
+
+void
+Llc::flushAll()
+{
+    for (std::size_t gset = 0; gset < cfg_.geom.totalSets(); ++gset) {
+        for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
+            Line &l = line(gset, w);
+            if (l.valid && l.dirty)
+                ++stats_.writebacks;
+            l.valid = false;
+            l.dirty = false;
+            l.isIo = false;
+            repl_->reset(gset, w);
+        }
+    }
+}
+
+void
+Llc::adaptPartition(std::size_t gset)
+{
+    PartState &ps = part_[gset];
+    ++stats_.partitionAdaptations;
+    const unsigned old_lines = ps.ioLines;
+    if (ps.presentAcc > cfg_.tHigh) {
+        ps.ioLines = static_cast<std::uint8_t>(
+            std::min<unsigned>(ps.ioLines + 1, cfg_.ioLinesMax));
+    } else if (ps.presentAcc < cfg_.tLow) {
+        ps.ioLines = static_cast<std::uint8_t>(
+            std::max<unsigned>(ps.ioLines - 1, cfg_.ioLinesMin));
+    }
+    if (ps.ioLines != old_lines)
+        enforcePartition(gset);
+}
+
+void
+Llc::enforcePartition(std::size_t gset)
+{
+    const PartState &ps = part_[gset];
+    // Shrink: displace I/O lines beyond the new bound.
+    while (ioCount(gset) > ps.ioLines) {
+        const WayMask io_mask = kindMask(gset, true);
+        const unsigned w = repl_->victim(gset, io_mask);
+        if (line(gset, w).dirty)
+            ++stats_.writebacks;
+        line(gset, w).valid = false;
+        line(gset, w).dirty = false;
+        repl_->reset(gset, w);
+        ++stats_.partitionInvalidations;
+    }
+    // Grow: displace CPU lines past the reduced CPU quota.
+    const unsigned cpu_quota = cfg_.geom.ways - ps.ioLines;
+    while (validCount(gset) - ioCount(gset) > cpu_quota) {
+        const WayMask cpu_mask = kindMask(gset, false);
+        const unsigned w = repl_->victim(gset, cpu_mask);
+        if (line(gset, w).dirty)
+            ++stats_.writebacks;
+        line(gset, w).valid = false;
+        line(gset, w).dirty = false;
+        repl_->reset(gset, w);
+        ++stats_.partitionInvalidations;
+    }
+}
+
+void
+Llc::catchUpPartition(std::size_t gset, Cycles now)
+{
+    PartState &ps = part_[gset];
+    if (now < ps.lastUpdate) {
+        // Out-of-order timestamps can occur when distinct agents use
+        // loosely synchronized clocks; treat as "no time elapsed".
+        return;
+    }
+
+    // Between accesses the set's contents are constant, so presence is
+    // constant over the catch-up span. The partition size saturates
+    // after at most (max - min) same-direction adjustments, after which
+    // further idle periods are no-ops and can be skipped in O(1).
+    unsigned budget = cfg_.ioLinesMax - cfg_.ioLinesMin + 1;
+    while (ps.periodStart + cfg_.adaptPeriod <= now) {
+        const Cycles period_end = ps.periodStart + cfg_.adaptPeriod;
+        const bool present = ioCount(gset) > 0;
+        if (present)
+            ps.presentAcc += period_end - ps.lastUpdate;
+        adaptPartition(gset);
+        ps.presentAcc = 0;
+        ps.periodStart = period_end;
+        ps.lastUpdate = period_end;
+
+        if (budget > 0)
+            --budget;
+        if (budget == 0) {
+            // Partition size has saturated for this (constant) presence
+            // level; every further idle period repeats the same decision,
+            // so whole periods can be skipped in O(1).
+            const Cycles whole =
+                (now - ps.periodStart) / cfg_.adaptPeriod;
+            if (whole > 0) {
+                ps.periodStart += whole * cfg_.adaptPeriod;
+                ps.lastUpdate = ps.periodStart;
+            }
+        }
+    }
+    const bool present = ioCount(gset) > 0;
+    if (present)
+        ps.presentAcc += now - ps.lastUpdate;
+    ps.lastUpdate = now;
+}
+
+} // namespace pktchase::cache

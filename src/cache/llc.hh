@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Sliced, inclusive last-level cache with DDIO write allocation and the
+ * paper's adaptive I/O partitioning defense.
+ *
+ * Three fill paths exist:
+ *  - CPU reads/writes: demand fills that may displace any line (or, with
+ *    the Sec. VII defense enabled, only CPU lines).
+ *  - DDIO I/O writes: the NIC's DMA transactions allocate directly in
+ *    the LLC in dirty state, capped at ddioWays (2) allocations per set,
+ *    but still able to evict CPU lines in the baseline -- the contention
+ *    the whole attack rests on.
+ *  - Non-DDIO DMA: writes go to memory and invalidate any cached copy;
+ *    the driver's later header read demand-fetches.
+ *
+ * The adaptive partitioning defense keeps a per-set I/O partition size
+ * (io_lines, 1..3) and a per-set I/O-presence cycle counter; every
+ * adaptation period the partition grows if presence exceeded T_high and
+ * shrinks if it stayed below T_low, invalidating displaced blocks. With
+ * the defense on, an I/O fill can never evict a CPU line (tested as an
+ * invariant), which closes the channel.
+ */
+
+#ifndef PKTCHASE_CACHE_LLC_HH
+#define PKTCHASE_CACHE_LLC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/replacement.hh"
+#include "cache/slice_hash.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace pktchase::cache
+{
+
+/** Configuration for an Llc instance. */
+struct LlcConfig
+{
+    Geometry geom = Geometry::xeonE52660();
+    ReplacementKind replacement = ReplacementKind::Lru;
+
+    /** Max ways DDIO may allocate per set (Intel's ~10% guidance). */
+    unsigned ddioWays = 2;
+
+    /** Enable the Sec. VII adaptive I/O partitioning defense. */
+    bool adaptivePartition = false;
+    unsigned ioLinesMin = 1;     ///< Hard lower bound on partition size.
+    unsigned ioLinesMax = 3;     ///< Hard upper bound on partition size.
+    unsigned ioLinesInit = 2;    ///< Partition size at reset.
+    Cycles adaptPeriod = 10000;  ///< p in the paper.
+    Cycles tHigh = 5000;         ///< Grow threshold (cycles of presence).
+    Cycles tLow = 2000;          ///< Shrink threshold.
+
+    std::uint64_t seed = 1;      ///< Seed for the random policy, if used.
+};
+
+/** Event counters exposed by the Llc. */
+struct LlcStats
+{
+    std::uint64_t cpuReads = 0;
+    std::uint64_t cpuReadMisses = 0;
+    std::uint64_t cpuWrites = 0;
+    std::uint64_t cpuWriteMisses = 0;
+
+    std::uint64_t ioWrites = 0;       ///< DDIO write transactions.
+    std::uint64_t ioWriteHits = 0;    ///< Updated an existing line.
+    std::uint64_t ioAllocations = 0;  ///< Allocated a new line.
+
+    /** Evictions broken down by (evicted line kind) x (filling agent). */
+    std::uint64_t cpuEvictedByCpu = 0;
+    std::uint64_t cpuEvictedByIo = 0; ///< The Packet Chasing leak.
+    std::uint64_t ioEvictedByCpu = 0;
+    std::uint64_t ioEvictedByIo = 0;
+
+    std::uint64_t writebacks = 0;     ///< Dirty evictions to memory.
+    std::uint64_t memReads = 0;       ///< Demand fills from memory.
+    std::uint64_t invalidations = 0;  ///< Snoop/DMA invalidations.
+
+    std::uint64_t partitionAdaptations = 0;
+    std::uint64_t partitionInvalidations = 0;
+};
+
+/**
+ * The sliced last-level cache.
+ */
+class Llc
+{
+  public:
+    /**
+     * @param cfg   Geometry, policy, and defense configuration.
+     * @param hash  Slice selector; its slice count must match the
+     *              geometry. Owned by the cache.
+     */
+    Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash);
+
+    /**
+     * CPU demand read of the block containing @p paddr.
+     * @return true on hit.
+     */
+    bool cpuRead(Addr paddr, Cycles now);
+
+    /** CPU write (write-allocate, write-back). @return true on hit. */
+    bool cpuWrite(Addr paddr, Cycles now);
+
+    /**
+     * DDIO I/O write of the block containing @p paddr: update in place
+     * on hit, otherwise allocate dirty, displacing per the DDIO cap or
+     * the partition rules.
+     */
+    void ioWrite(Addr paddr, Cycles now);
+
+    /**
+     * Invalidate the block containing @p paddr if cached (non-DDIO DMA
+     * snoop). The cached copy is stale, so no writeback is performed.
+     */
+    void invalidateBlock(Addr paddr);
+
+    /** Whether the block containing @p paddr is currently cached. */
+    bool contains(Addr paddr) const;
+
+    /** Whether the cached copy of @p paddr (if any) is an I/O line. */
+    bool containsIoLine(Addr paddr) const;
+
+    /** Flush the whole cache (writebacks counted). */
+    void flushAll();
+
+    /** Global set index (slice-major) of a physical address. */
+    std::size_t
+    globalSet(Addr paddr) const
+    {
+        return static_cast<std::size_t>(hash_->slice(paddr)) *
+            cfg_.geom.setsPerSlice + cfg_.geom.setIndex(paddr);
+    }
+
+    /** Number of valid lines in global set @p gset. */
+    unsigned validCount(std::size_t gset) const;
+
+    /** Number of valid I/O lines in global set @p gset. */
+    unsigned ioCount(std::size_t gset) const;
+
+    /**
+     * Current I/O partition size for @p gset. Meaningful only when
+     * the adaptive partition defense is enabled; returns ddioWays
+     * otherwise.
+     */
+    unsigned ioPartitionSize(std::size_t gset) const;
+
+    const LlcStats &stats() const { return stats_; }
+    const LlcConfig &config() const { return cfg_; }
+    const Geometry &geometry() const { return cfg_.geom; }
+    const SliceHash &sliceHash() const { return *hash_; }
+
+    /** Reset all statistics counters (cache contents untouched). */
+    void clearStats() { stats_ = LlcStats{}; }
+
+  private:
+    struct Line
+    {
+        Addr block = 0;    ///< Block address (paddr >> blockShift).
+        bool valid = false;
+        bool dirty = false;
+        bool isIo = false;
+    };
+
+    /** Adaptive-partition bookkeeping, one per set. */
+    struct PartState
+    {
+        std::uint8_t ioLines;
+        Cycles periodStart = 0;
+        Cycles lastUpdate = 0;
+        Cycles presentAcc = 0;
+    };
+
+    LlcConfig cfg_;
+    std::unique_ptr<SliceHash> hash_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<Line> lines_;      ///< totalSets x ways.
+    std::vector<PartState> part_;  ///< Only sized when defense enabled.
+    LlcStats stats_;
+
+    Line &line(std::size_t gset, unsigned way);
+    const Line &line(std::size_t gset, unsigned way) const;
+
+    /** Find the way caching @p block in @p gset, or -1. */
+    int findWay(std::size_t gset, Addr block) const;
+
+    /** First invalid way in @p gset, or -1. */
+    int findInvalid(std::size_t gset) const;
+
+    /** Mask of valid ways whose isIo flag equals @p want_io. */
+    WayMask kindMask(std::size_t gset, bool want_io) const;
+
+    /** Evict @p way of @p gset, counting writeback and attribution. */
+    void evict(std::size_t gset, unsigned way, bool filler_is_io);
+
+    /** Handle a CPU-side miss fill; returns the way filled. */
+    unsigned cpuFill(std::size_t gset, Addr block, bool dirty);
+
+    /** Handle a DDIO allocation. */
+    void ioFill(std::size_t gset, Addr block);
+
+    /** Lazily advance the partition state of @p gset to time @p now. */
+    void catchUpPartition(std::size_t gset, Cycles now);
+
+    /** Apply one adaptation-period boundary decision to @p gset. */
+    void adaptPartition(std::size_t gset);
+
+    /** Enforce partition bounds after io_lines changed. */
+    void enforcePartition(std::size_t gset);
+};
+
+} // namespace pktchase::cache
+
+#endif // PKTCHASE_CACHE_LLC_HH

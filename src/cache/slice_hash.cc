@@ -1,0 +1,92 @@
+#include "slice_hash.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace pktchase::cache
+{
+
+XorFoldSliceHash::XorFoldSliceHash(std::vector<Addr> masks)
+    : masks_(std::move(masks))
+{
+    if (masks_.empty() || masks_.size() > 3)
+        fatal("XorFoldSliceHash supports 1..3 output bits");
+}
+
+unsigned
+XorFoldSliceHash::slice(Addr paddr) const
+{
+    unsigned out = 0;
+    for (std::size_t i = 0; i < masks_.size(); ++i) {
+        const unsigned bit =
+            static_cast<unsigned>(std::popcount(paddr & masks_[i])) & 1u;
+        out |= bit << i;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Build a mask from a list of physical address bit positions. */
+Addr
+maskOfBits(std::initializer_list<unsigned> bits)
+{
+    Addr m = 0;
+    for (unsigned b : bits)
+        m |= Addr(1) << b;
+    return m;
+}
+
+} // namespace
+
+std::unique_ptr<XorFoldSliceHash>
+XorFoldSliceHash::sandyBridgeEP8()
+{
+    // Bit positions follow the structure of the reverse-engineered
+    // Maurice et al. functions for 8-slice parts: three parity outputs
+    // over overlapping sets of bits from 6 (the first bit above the
+    // block offset) up through bit 34.
+    const Addr o0 = maskOfBits({6, 10, 12, 14, 16, 17, 18, 20, 22, 24,
+                                25, 26, 27, 28, 30, 32, 33});
+    const Addr o1 = maskOfBits({7, 11, 13, 15, 17, 19, 20, 21, 22, 23,
+                                24, 26, 28, 29, 31, 33, 34});
+    const Addr o2 = maskOfBits({8, 12, 16, 17, 18, 19, 22, 23, 25, 26,
+                                27, 30, 31, 32, 34});
+    return std::make_unique<XorFoldSliceHash>(
+        std::vector<Addr>{o0, o1, o2});
+}
+
+std::unique_ptr<XorFoldSliceHash>
+XorFoldSliceHash::fourSlice()
+{
+    const Addr o0 = maskOfBits({6, 10, 12, 14, 16, 17, 18, 20, 22, 24,
+                                25, 26, 27, 28, 30, 32, 33});
+    const Addr o1 = maskOfBits({7, 11, 13, 15, 17, 19, 20, 21, 22, 23,
+                                24, 26, 28, 29, 31, 33, 34});
+    return std::make_unique<XorFoldSliceHash>(std::vector<Addr>{o0, o1});
+}
+
+std::unique_ptr<XorFoldSliceHash>
+XorFoldSliceHash::twoSlice()
+{
+    const Addr o0 = maskOfBits({6, 10, 12, 14, 16, 17, 18, 20, 22, 24,
+                                25, 26, 27, 28, 30, 32, 33});
+    return std::make_unique<XorFoldSliceHash>(std::vector<Addr>{o0});
+}
+
+IdentitySliceHash::IdentitySliceHash(unsigned n_slices, unsigned shift)
+    : nSlices_(n_slices), shift_(shift)
+{
+    if (n_slices == 0 || (n_slices & (n_slices - 1)) != 0)
+        fatal("IdentitySliceHash requires a power-of-two slice count");
+}
+
+unsigned
+IdentitySliceHash::slice(Addr paddr) const
+{
+    return static_cast<unsigned>((paddr >> shift_) & (nSlices_ - 1));
+}
+
+} // namespace pktchase::cache

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Slice-selection hash functions for the sliced LLC.
+ *
+ * Starting with Sandy Bridge, Intel distributes physical addresses over
+ * per-core LLC slices with an unpublished hash (Fig. 2). The hash has
+ * been reverse engineered as XOR-folds of physical address bits
+ * (Maurice et al., RAID 2015). We implement that family -- a parity of
+ * a per-output-bit address mask -- plus a trivial identity hash for
+ * ablation (bench_ablation_slice_hash shows the attack does not depend
+ * on the complex indexing being simple).
+ */
+
+#ifndef PKTCHASE_CACHE_SLICE_HASH_HH
+#define PKTCHASE_CACHE_SLICE_HASH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pktchase::cache
+{
+
+/**
+ * Abstract slice selector: physical address -> slice id.
+ */
+class SliceHash
+{
+  public:
+    virtual ~SliceHash() = default;
+
+    /** Slice for a physical address; must be < slices(). */
+    virtual unsigned slice(Addr paddr) const = 0;
+
+    /** Number of slices this hash selects among. */
+    virtual unsigned slices() const = 0;
+};
+
+/**
+ * XOR-fold hash in the style of the reverse-engineered Intel functions:
+ * output bit i is the parity of (paddr & mask[i]).
+ */
+class XorFoldSliceHash : public SliceHash
+{
+  public:
+    /**
+     * Construct with explicit per-bit masks.
+     * @param masks One address mask per output bit (1, 2, or 3 masks
+     *              for 2-, 4-, or 8-slice caches).
+     */
+    explicit XorFoldSliceHash(std::vector<Addr> masks);
+
+    unsigned slice(Addr paddr) const override;
+    unsigned slices() const override { return 1u << masks_.size(); }
+
+    /** The published-style masks for an 8-slice Sandy Bridge-EP LLC. */
+    static std::unique_ptr<XorFoldSliceHash> sandyBridgeEP8();
+
+    /** 4-slice variant (client parts). */
+    static std::unique_ptr<XorFoldSliceHash> fourSlice();
+
+    /** 2-slice variant. */
+    static std::unique_ptr<XorFoldSliceHash> twoSlice();
+
+  private:
+    std::vector<Addr> masks_;
+};
+
+/**
+ * Identity hash: slice = low address bits above the set index. Used by
+ * ablation benches to contrast against complex indexing.
+ */
+class IdentitySliceHash : public SliceHash
+{
+  public:
+    /**
+     * @param n_slices  Power-of-two slice count.
+     * @param shift     Address bit where the slice field starts.
+     */
+    IdentitySliceHash(unsigned n_slices, unsigned shift);
+
+    unsigned slice(Addr paddr) const override;
+    unsigned slices() const override { return nSlices_; }
+
+  private:
+    unsigned nSlices_;
+    unsigned shift_;
+};
+
+} // namespace pktchase::cache
+
+#endif // PKTCHASE_CACHE_SLICE_HASH_HH

@@ -1,0 +1,62 @@
+#include "encoding.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::channel
+{
+
+unsigned
+arity(Scheme scheme)
+{
+    return scheme == Scheme::Binary ? 2u : 3u;
+}
+
+double
+bitsPerSymbol(Scheme scheme)
+{
+    return scheme == Scheme::Binary ? 1.0 : 1.584962500721156; // log2(3)
+}
+
+Addr
+frameBytes(Scheme scheme, unsigned symbol)
+{
+    if (symbol >= arity(scheme))
+        panic("frameBytes: symbol out of range for scheme");
+    if (scheme == Scheme::Binary)
+        return symbol == 0 ? 64 : 256;
+    switch (symbol) {
+      case 0:  return 64;
+      case 1:  return 192;
+      default: return 256;
+    }
+}
+
+unsigned
+decodeActivity(Scheme scheme, bool b2, bool b3)
+{
+    if (scheme == Scheme::Binary) {
+        // Both data rows fire for "1"; either row alone is treated as
+        // "1" too (redundancy is what makes binary slightly more
+        // robust than ternary, Fig. 11).
+        return (b2 || b3) ? 1u : 0u;
+    }
+    if (b3)
+        return 2u; // 4-block packet (block 3 implies block 2 as well).
+    if (b2)
+        return 1u; // 3-block packet.
+    return 0u;     // 1-block packet: clock only.
+}
+
+std::vector<unsigned>
+bitsToSymbols(Scheme scheme, const std::vector<unsigned> &bits)
+{
+    if (scheme == Scheme::Binary)
+        return bits;
+    std::vector<unsigned> out;
+    out.reserve(bits.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2)
+        out.push_back((bits[i] * 2 + bits[i + 1]) % 3);
+    return out;
+}
+
+} // namespace pktchase::channel

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Symbol encodings for the packet-size covert channel (Sec. IV-b).
+ *
+ * The trojan encodes one symbol per ring traversal by choosing the
+ * frame size of the packets it broadcasts; the spy recovers the symbol
+ * from which block rows of the monitored buffer show activity. The
+ * second block row (block 1) fires for every packet thanks to the
+ * driver's unconditional prefetch, so it serves as the synchronized
+ * clock; blocks 2 and 3 carry the data:
+ *
+ *   binary:   "0" = 64 B (1 block),  "1" = 256 B (4 blocks)
+ *   ternary:  "0" = 64 B, "1" = 192 B (3 blocks), "2" = 256 B
+ *
+ * All sizes stay at or below the 256 B copy-break threshold so the
+ * driver never flips page halves and the monitored sets stay fixed.
+ */
+
+#ifndef PKTCHASE_CHANNEL_ENCODING_HH
+#define PKTCHASE_CHANNEL_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pktchase::channel
+{
+
+/** Supported symbol alphabets. */
+enum class Scheme : std::uint8_t
+{
+    Binary,
+    Ternary,
+};
+
+/** Number of distinct symbols in a scheme. */
+unsigned arity(Scheme scheme);
+
+/** Information content per symbol, in bits. */
+double bitsPerSymbol(Scheme scheme);
+
+/** Frame size that encodes @p symbol under @p scheme. */
+Addr frameBytes(Scheme scheme, unsigned symbol);
+
+/**
+ * Decode block-row activity into a symbol: @p b2 / @p b3 are the
+ * activity of the third and fourth blocks (the clock row already
+ * fired, or no symbol would be emitted).
+ */
+unsigned decodeActivity(Scheme scheme, bool b2, bool b3);
+
+/**
+ * Map an LFSR bit stream (the paper's 2^15 - 1 pseudo-random test
+ * pattern) onto a symbol stream: binary takes bits 1:1, ternary folds
+ * consecutive bit pairs mod 3. Error rates are then measured with
+ * Levenshtein distance between sent and received symbol streams,
+ * following Liu et al.'s methodology.
+ */
+std::vector<unsigned> bitsToSymbols(Scheme scheme,
+                                    const std::vector<unsigned> &bits);
+
+} // namespace pktchase::channel
+
+#endif // PKTCHASE_CHANNEL_ENCODING_HH

@@ -1,0 +1,115 @@
+#include "spy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pktchase::channel
+{
+
+std::vector<unsigned>
+ListenResult::symbols() const
+{
+    std::vector<unsigned> out;
+    out.reserve(events.size());
+    for (const SymbolEvent &e : events)
+        out.push_back(e.symbol);
+    return out;
+}
+
+CovertSpy::CovertSpy(cache::Hierarchy &hier,
+                     const attack::ComboGroups &groups,
+                     std::vector<std::size_t> buffer_combos,
+                     Scheme scheme, const SpyConfig &cfg)
+    : hier_(hier), scheme_(scheme), cfg_(cfg)
+{
+    if (buffer_combos.empty())
+        panic("CovertSpy needs at least one monitored buffer");
+    monitors_.reserve(buffer_combos.size());
+    for (std::size_t combo : buffer_combos) {
+        const attack::EvictionSet base =
+            groups.evictionSetFor(combo, cfg_.ways);
+        std::vector<attack::EvictionSet> sets;
+        sets.push_back(base.atBlock(1)); // clock (prefetch row)
+        sets.push_back(base.atBlock(2));
+        sets.push_back(base.atBlock(3));
+        monitors_.emplace_back(hier_, std::move(sets),
+                               cfg_.missThreshold);
+    }
+}
+
+ListenResult
+CovertSpy::listen(EventQueue &eq, Cycles horizon)
+{
+    ListenResult result;
+    std::vector<std::vector<RawSample>> raw(monitors_.size());
+    const Cycles interval = secondsToCycles(1.0 / cfg_.probeRateHz);
+
+    for (auto &m : monitors_)
+        m.primeAll(eq.now());
+
+    std::function<void()> round = [&] {
+        Cycles t = eq.now();
+        for (std::size_t b = 0; b < monitors_.size(); ++b) {
+            attack::ProbeSample s = monitors_[b].probeAll(t);
+            t = s.end;
+            raw[b].push_back(RawSample{s.start, s.active[0] != 0,
+                                       s.active[1] != 0,
+                                       s.active[2] != 0});
+        }
+        ++result.rounds;
+        const Cycles cost = t - eq.now();
+        const Cycles next = eq.now() + std::max(interval, cost);
+        if (next <= horizon)
+            eq.schedule(next, round);
+    };
+    eq.schedule(eq.now(), round);
+    eq.runUntil(horizon);
+
+    for (std::size_t b = 0; b < monitors_.size(); ++b) {
+        std::vector<SymbolEvent> events = decodeBuffer(b, raw[b]);
+        result.events.insert(result.events.end(), events.begin(),
+                             events.end());
+    }
+    std::sort(result.events.begin(), result.events.end(),
+              [](const SymbolEvent &a, const SymbolEvent &b) {
+                  return a.when < b.when;
+              });
+    return result;
+}
+
+std::vector<SymbolEvent>
+CovertSpy::decodeBuffer(std::size_t buffer,
+                        const std::vector<RawSample> &samples) const
+{
+    // Group consecutive clock-active samples into one packet event and
+    // OR the data rows across a bounded window (wide peaks span two
+    // samples; skewed arrivals shift data activity by one sample).
+    std::vector<SymbolEvent> events;
+    std::size_t i = 0;
+    while (i < samples.size()) {
+        if (!samples[i].clock) {
+            ++i;
+            continue;
+        }
+        bool b2 = false, b3 = false;
+        const std::size_t end =
+            std::min(samples.size(), i + cfg_.decodeWindow);
+        std::size_t j = i;
+        for (; j < end && samples[j].clock; ++j) {
+            b2 |= samples[j].b2;
+            b3 |= samples[j].b3;
+        }
+        events.push_back(SymbolEvent{samples[i].when,
+                                     decodeActivity(scheme_, b2, b3),
+                                     buffer});
+        i = std::max(j, i + 1);
+        // Skip the remainder of an over-long run (background noise can
+        // stretch the clock row) so one packet yields one symbol.
+        while (i < samples.size() && samples[i].clock)
+            ++i;
+    }
+    return events;
+}
+
+} // namespace pktchase::channel

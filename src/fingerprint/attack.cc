@@ -1,0 +1,124 @@
+#include "attack.hh"
+
+#include <algorithm>
+
+#include "attack/chasing.hh"
+#include "net/traffic.hh"
+#include "sim/logging.hh"
+
+namespace pktchase::fingerprint
+{
+
+FingerprintAttack::FingerprintAttack(testbed::Testbed &tb,
+                                     const WebsiteDb &db,
+                                     const FingerprintConfig &cfg)
+    : tb_(tb), db_(db), cfg_(cfg), clf_(cfg.classifier)
+{
+    chaseSeq_ = tb_.ringComboSequence();
+    if (cfg_.sequenceErrorRate > 0.0) {
+        Rng rng(cfg_.seed ^ 0x5EC5u);
+        for (std::size_t i = 0; i + 1 < chaseSeq_.size(); ++i)
+            if (rng.nextBool(cfg_.sequenceErrorRate))
+                std::swap(chaseSeq_[i], chaseSeq_[i + 1]);
+    }
+}
+
+std::vector<std::size_t>
+FingerprintAttack::rotatedSequence() const
+{
+    // The spy tracks the ring position continuously (it has been
+    // chasing since setup), so the chase starts at the slot the NIC
+    // will fill next.
+    std::vector<std::size_t> seq = chaseSeq_;
+    const std::size_t head = tb_.driver().ring().head();
+    std::rotate(seq.begin(),
+                seq.begin() + static_cast<std::ptrdiff_t>(
+                    head % seq.size()),
+                seq.end());
+    return seq;
+}
+
+std::vector<unsigned>
+FingerprintAttack::truthClasses(const std::vector<nic::Frame> &frames,
+                                std::size_t length)
+{
+    std::vector<unsigned> classes;
+    classes.reserve(length);
+    for (const nic::Frame &f : frames) {
+        if (classes.size() >= length)
+            break;
+        classes.push_back(sizeClassOf(f.bytes));
+    }
+    return classes;
+}
+
+std::vector<unsigned>
+FingerprintAttack::captureVisit(std::size_t site, Rng &rng)
+{
+    const std::vector<nic::Frame> frames = db_.visit(site, rng);
+
+    const Cycles start = tb_.eq().now();
+    const double secs =
+        static_cast<double>(frames.size()) / cfg_.visitRatePps;
+    const Cycles horizon = start + secondsToCycles(secs * 1.4 + 0.002);
+
+    auto stream = std::make_unique<net::ReplayStream>(
+        frames, cfg_.visitRatePps);
+    net::TrafficPump pump(tb_.eq(), tb_.driver(), std::move(stream),
+                          start + 1000, cfg_.arrivalJitterSigma,
+                          rng.next());
+
+    attack::ChasingConfig ch;
+    ch.ways = tb_.config().llc.geom.ways;
+    ch.probeInterval = std::max<Cycles>(
+        500, secondsToCycles(1.0 / cfg_.visitRatePps) / 4);
+    attack::ChasingMonitor chaser(tb_.hier(), tb_.groups(),
+                                  rotatedSequence(), ch);
+    const attack::ChaseResult r = chaser.chase(tb_.eq(), horizon);
+
+    std::vector<unsigned> classes;
+    classes.reserve(cfg_.classifier.length);
+    for (const attack::PacketObservation &obs : r.packets) {
+        if (classes.size() >= cfg_.classifier.length)
+            break;
+        classes.push_back(obs.sizeClass);
+    }
+    return classes;
+}
+
+FingerprintResult
+FingerprintAttack::evaluate()
+{
+    Rng rng(cfg_.seed);
+
+    // Offline phase: templates from ground-truth traces of noisy
+    // visits (the attacker's own tcpdump captures).
+    for (std::size_t site = 0; site < db_.size(); ++site) {
+        for (std::size_t v = 0; v < cfg_.trainVisits; ++v) {
+            clf_.train(site,
+                       truthClasses(db_.visit(site, rng),
+                                    cfg_.classifier.length));
+        }
+    }
+
+    FingerprintResult result;
+    result.confusion.assign(
+        db_.size(), std::vector<unsigned>(db_.size(), 0));
+
+    for (std::size_t t = 0; t < cfg_.trials; ++t) {
+        const std::size_t site = t % db_.size();
+        const std::vector<unsigned> captured = captureVisit(site, rng);
+        const std::size_t predicted = clf_.classify(captured);
+        ++result.confusion[site][predicted];
+        if (predicted == site)
+            ++result.correct;
+        ++result.trials;
+    }
+    result.accuracy = result.trials > 0
+        ? static_cast<double>(result.correct) /
+            static_cast<double>(result.trials)
+        : 0.0;
+    return result;
+}
+
+} // namespace pktchase::fingerprint

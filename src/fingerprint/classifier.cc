@@ -1,0 +1,79 @@
+#include "classifier.hh"
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace pktchase::fingerprint
+{
+
+CorrelationClassifier::CorrelationClassifier(const ClassifierConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.length == 0)
+        fatal("CorrelationClassifier: length must be nonzero");
+}
+
+std::vector<double>
+CorrelationClassifier::normalize(
+    const std::vector<unsigned> &classes) const
+{
+    std::vector<double> v(cfg_.length, 0.0);
+    for (std::size_t i = 0; i < cfg_.length && i < classes.size(); ++i)
+        v[i] = static_cast<double>(classes[i]);
+    return v;
+}
+
+void
+CorrelationClassifier::train(std::size_t site,
+                             const std::vector<unsigned> &classes)
+{
+    if (site >= sums_.size()) {
+        sums_.resize(site + 1, std::vector<double>(cfg_.length, 0.0));
+        counts_.resize(site + 1, 0);
+    }
+    const std::vector<double> v = normalize(classes);
+    for (std::size_t i = 0; i < cfg_.length; ++i)
+        sums_[site][i] += v[i];
+    ++counts_[site];
+}
+
+std::vector<double>
+CorrelationClassifier::representative(std::size_t site) const
+{
+    if (site >= sums_.size() || counts_[site] == 0)
+        panic("CorrelationClassifier: untrained site");
+    std::vector<double> rep = sums_[site];
+    for (double &x : rep)
+        x /= static_cast<double>(counts_[site]);
+    return rep;
+}
+
+double
+CorrelationClassifier::score(std::size_t site,
+                             const std::vector<unsigned> &classes) const
+{
+    return maxCrossCorrelation(normalize(classes),
+                               representative(site), cfg_.maxLag);
+}
+
+std::size_t
+CorrelationClassifier::classify(
+    const std::vector<unsigned> &classes) const
+{
+    if (sums_.empty())
+        panic("CorrelationClassifier::classify with no training data");
+    std::size_t best = 0;
+    double best_score = -2.0;
+    for (std::size_t s = 0; s < sums_.size(); ++s) {
+        if (counts_[s] == 0)
+            continue;
+        const double sc = score(s, classes);
+        if (sc > best_score) {
+            best_score = sc;
+            best = s;
+        }
+    }
+    return best;
+}
+
+} // namespace pktchase::fingerprint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's correlation-based website classifier (Sec. V).
+ *
+ * Offline, the attacker computes a representative trace per site: the
+ * point-wise average of the size-class vectors over training visits.
+ * Online, a captured vector is scored against every template with
+ * normalized cross-correlation maximized over a small lag window
+ * (tolerating the slight compression/expansion the paper notes), and
+ * the best-scoring site wins.
+ */
+
+#ifndef PKTCHASE_FINGERPRINT_CLASSIFIER_HH
+#define PKTCHASE_FINGERPRINT_CLASSIFIER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pktchase::fingerprint
+{
+
+/** Classifier parameters. */
+struct ClassifierConfig
+{
+    int maxLag = 5;           ///< Cross-correlation lag window.
+    std::size_t length = 100; ///< Vectors truncated/padded to this.
+};
+
+/**
+ * Template-matching classifier over size-class vectors.
+ */
+class CorrelationClassifier
+{
+  public:
+    explicit CorrelationClassifier(
+        const ClassifierConfig &cfg = ClassifierConfig{});
+
+    /**
+     * Add one training visit for @p site (size classes, in order).
+     * Sites may be trained in any order and unevenly.
+     */
+    void train(std::size_t site, const std::vector<unsigned> &classes);
+
+    /** Number of sites with at least one training visit. */
+    std::size_t sites() const { return sums_.size(); }
+
+    /** The representative (averaged) trace of @p site. */
+    std::vector<double> representative(std::size_t site) const;
+
+    /**
+     * Classify a captured vector.
+     * @return The best-matching site index.
+     */
+    std::size_t classify(const std::vector<unsigned> &classes) const;
+
+    /** Score of @p classes against @p site's template, in [-1, 1]. */
+    double score(std::size_t site,
+                 const std::vector<unsigned> &classes) const;
+
+  private:
+    ClassifierConfig cfg_;
+    std::vector<std::vector<double>> sums_;  ///< Per-site running sums.
+    std::vector<std::size_t> counts_;        ///< Training visit counts.
+
+    std::vector<double> normalize(
+        const std::vector<unsigned> &classes) const;
+};
+
+} // namespace pktchase::fingerprint
+
+#endif // PKTCHASE_FINGERPRINT_CLASSIFIER_HH

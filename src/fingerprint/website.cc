@@ -1,0 +1,142 @@
+#include "website.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pktchase::fingerprint
+{
+
+unsigned
+sizeClassOf(Addr frame_bytes)
+{
+    const auto blocks = static_cast<unsigned>(
+        (frame_bytes + blockBytes - 1) / blockBytes);
+    return std::min(blocks, 4u);
+}
+
+std::vector<Addr>
+WebsiteDb::makeSignature(std::uint64_t seed, unsigned packets)
+{
+    // A site is a stable sequence of response messages. Each message
+    // is a run of MTU frames ended by a fragment whose size is the
+    // message length mod MTU -- the per-site discriminator -- with
+    // small control packets (ACK bursts, TLS records, redirects)
+    // interleaved.
+    Rng rng(seed);
+    std::vector<Addr> sizes;
+
+    // TLS/TCP handshake preamble: a few small-to-medium records.
+    const unsigned preamble = 3 + static_cast<unsigned>(
+        rng.nextBounded(4));
+    for (unsigned i = 0; i < preamble; ++i)
+        sizes.push_back(static_cast<Addr>(rng.nextRange(64, 320)));
+
+    while (sizes.size() < packets) {
+        const unsigned burst = 1 + static_cast<unsigned>(
+            rng.nextBounded(7));
+        for (unsigned b = 0; b < burst && sizes.size() < packets; ++b)
+            sizes.push_back(1514);
+        // The final fragment of the message: anywhere in 1..MTU.
+        sizes.push_back(static_cast<Addr>(rng.nextRange(64, 1514)));
+        // Control traffic between objects.
+        const unsigned acks = static_cast<unsigned>(rng.nextBounded(3));
+        for (unsigned a = 0; a < acks && sizes.size() < packets; ++a)
+            sizes.push_back(64);
+    }
+    sizes.resize(packets);
+    return sizes;
+}
+
+WebsiteDb::WebsiteDb(std::vector<std::string> names, std::uint64_t seed,
+                     const WebsiteConfig &cfg)
+    : names_(std::move(names)), cfg_(cfg)
+{
+    if (names_.empty())
+        fatal("WebsiteDb needs at least one site");
+    signatures_.reserve(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        signatures_.push_back(makeSignature(
+            seed * 0x9E3779B97F4A7C15ull + i + 1, cfg_.tracePackets));
+    }
+}
+
+const std::vector<Addr> &
+WebsiteDb::signature(std::size_t site) const
+{
+    if (site >= signatures_.size())
+        panic("WebsiteDb::signature out of range");
+    return signatures_[site];
+}
+
+std::vector<nic::Frame>
+WebsiteDb::visit(std::size_t site, Rng &rng) const
+{
+    const std::vector<Addr> &sig = signature(site);
+    std::vector<nic::Frame> frames;
+    frames.reserve(sig.size() + 8);
+    std::uint64_t id = 0;
+
+    for (Addr size : sig) {
+        if (rng.nextBool(cfg_.lossProb))
+            continue; // dropped on the wire
+        Addr bytes = size;
+        if (bytes <= 320 && rng.nextBool(cfg_.controlJitterProb)) {
+            bytes = static_cast<Addr>(std::clamp<std::int64_t>(
+                static_cast<std::int64_t>(bytes) + rng.nextRange(-32, 64),
+                64, 1514));
+        }
+        nic::Frame f;
+        f.bytes = bytes;
+        f.protocol = nic::Protocol::Tcp;
+        f.id = id++;
+        frames.push_back(f);
+        if (rng.nextBool(cfg_.retransProb)) {
+            nic::Frame dup = f;
+            dup.id = id++;
+            frames.push_back(dup);
+        }
+    }
+
+    // Occasional adjacent reordering from the network.
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i)
+        if (rng.nextBool(cfg_.swapProb))
+            std::swap(frames[i], frames[i + 1]);
+    return frames;
+}
+
+WebsiteDb
+WebsiteDb::loginPair(std::uint64_t seed)
+{
+    WebsiteDb db({"login-success", "login-failure"}, seed);
+    // Both flows share the login form exchange; success then streams
+    // the session page (large messages), failure returns a short
+    // error page and stops early with control chatter.
+    std::vector<Addr> success, failure;
+    Rng rng(seed ^ 0x10617u);
+    const unsigned shared = 20;
+    for (unsigned i = 0; i < shared; ++i) {
+        const Addr s = (i % 5 == 4)
+            ? static_cast<Addr>(rng.nextRange(64, 256)) : 1514;
+        success.push_back(s);
+        failure.push_back(s);
+    }
+    while (success.size() < db.cfg_.tracePackets) {
+        for (unsigned b = 0; b < 5 &&
+             success.size() < db.cfg_.tracePackets; ++b) {
+            success.push_back(1514);
+        }
+        success.push_back(static_cast<Addr>(rng.nextRange(300, 1514)));
+    }
+    while (failure.size() < db.cfg_.tracePackets) {
+        failure.push_back(64);
+        failure.push_back(static_cast<Addr>(rng.nextRange(64, 192)));
+    }
+    success.resize(db.cfg_.tracePackets);
+    failure.resize(db.cfg_.tracePackets);
+    db.signatures_[0] = std::move(success);
+    db.signatures_[1] = std::move(failure);
+    return db;
+}
+
+} // namespace pktchase::fingerprint

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic website packet-size traces (Sec. V substitution).
+ *
+ * The paper fingerprints real sites fetched with Firefox, using only
+ * the sequence of packet sizes in cache-block granularity. We cannot
+ * fetch the real web offline, so each site is modelled as a stable
+ * "signature" of response messages: bursts of MTU frames whose final
+ * fragment can fall anywhere between 1 block and the MTU (the paper's
+ * key observation: sizes congregate at both ends of the spectrum, and
+ * the last packet of each large message is the discriminator), plus
+ * interleaved small control packets. A visit replays the signature
+ * with realistic noise: lost or retransmitted frames, reordered
+ * control packets, and size jitter on dynamic content.
+ *
+ * This preserves exactly what the classifier consumes -- a noisy
+ * per-visit (size-class, order) sequence with a stable per-site core.
+ */
+
+#ifndef PKTCHASE_FINGERPRINT_WEBSITE_HH
+#define PKTCHASE_FINGERPRINT_WEBSITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nic/frame.hh"
+#include "sim/rng.hh"
+
+namespace pktchase::fingerprint
+{
+
+/** Per-site trace generation parameters. */
+struct WebsiteConfig
+{
+    unsigned tracePackets = 100;   ///< Fig. 13 uses the first 100.
+    double lossProb = 0.02;        ///< Per-packet drop probability.
+    double retransProb = 0.02;     ///< Per-packet duplicate probability.
+    double controlJitterProb = 0.15; ///< Control packet size wiggle.
+    double swapProb = 0.03;        ///< Adjacent reorder probability.
+};
+
+/**
+ * A closed-world database of website signatures.
+ */
+class WebsiteDb
+{
+  public:
+    /**
+     * @param names Site identifiers (the paper's closed world is
+     *              facebook/twitter/google/amazon/apple).
+     * @param seed  Seed deriving each site's stable signature.
+     * @param cfg   Visit noise parameters.
+     */
+    WebsiteDb(std::vector<std::string> names, std::uint64_t seed,
+              const WebsiteConfig &cfg = WebsiteConfig{});
+
+    /** Number of sites. */
+    std::size_t size() const { return signatures_.size(); }
+
+    /** Site names, index-aligned with visit(). */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** The noise-free signature sizes of @p site (ground truth). */
+    const std::vector<Addr> &signature(std::size_t site) const;
+
+    /**
+     * One noisy visit to @p site: the frames the victim's NIC would
+     * receive, in order.
+     */
+    std::vector<nic::Frame> visit(std::size_t site, Rng &rng) const;
+
+    /**
+     * The paper's Fig. 13 companion pair: a successful login transfers
+     * a session payload the failed login lacks. Returns a two-site db
+     * ("login-success", "login-failure") sharing a common prefix.
+     */
+    static WebsiteDb loginPair(std::uint64_t seed);
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<Addr>> signatures_;
+    WebsiteConfig cfg_;
+
+    static std::vector<Addr> makeSignature(std::uint64_t seed,
+                                           unsigned packets);
+};
+
+/** Clamp a frame size to the 1..4+ block classes the spy can see. */
+unsigned sizeClassOf(Addr frame_bytes);
+
+} // namespace pktchase::fingerprint
+
+#endif // PKTCHASE_FINGERPRINT_WEBSITE_HH

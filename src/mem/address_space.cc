@@ -1,0 +1,53 @@
+#include "address_space.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::mem
+{
+
+AddressSpace::AddressSpace(PhysMem &phys, Owner owner)
+    : phys_(phys), owner_(owner)
+{
+}
+
+Addr
+AddressSpace::mmap(std::size_t pages)
+{
+    if (pages == 0)
+        panic("AddressSpace::mmap of zero pages");
+    const Addr base_vpn = nextVpn_;
+    for (std::size_t i = 0; i < pages; ++i) {
+        const Addr vpn = nextVpn_++;
+        pageTable_[vpn] = phys_.allocFrame(owner_);
+    }
+    return base_vpn * pageBytes;
+}
+
+void
+AddressSpace::munmapPage(Addr vaddr)
+{
+    const Addr vpn = vaddr / pageBytes;
+    auto it = pageTable_.find(vpn);
+    if (it == pageTable_.end())
+        panic("AddressSpace::munmapPage of unmapped page");
+    phys_.freeFrame(it->second);
+    pageTable_.erase(it);
+}
+
+Addr
+AddressSpace::translate(Addr vaddr) const
+{
+    const Addr vpn = vaddr / pageBytes;
+    auto it = pageTable_.find(vpn);
+    if (it == pageTable_.end())
+        panic("AddressSpace::translate fault (unmapped page)");
+    return it->second + (vaddr & (pageBytes - 1));
+}
+
+bool
+AddressSpace::mapped(Addr vaddr) const
+{
+    return pageTable_.count(vaddr / pageBytes) != 0;
+}
+
+} // namespace pktchase::mem

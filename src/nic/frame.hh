@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ethernet frame model.
+ *
+ * Only the properties the attack can observe matter: the frame's size
+ * (which determines how many 64 B cache blocks the DMA write touches)
+ * and whether the kernel stack will consume it (unknown-protocol
+ * broadcast frames are dropped by the driver after the header check,
+ * which is exactly what the covert channel exploits -- buffer activity
+ * with no stack activity).
+ */
+
+#ifndef PKTCHASE_NIC_FRAME_HH
+#define PKTCHASE_NIC_FRAME_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace pktchase::nic
+{
+
+/** Protocols the simulated driver can demultiplex. */
+enum class Protocol : std::uint8_t
+{
+    Unknown, ///< Dropped after the header check (raw broadcast frames).
+    Tcp,     ///< Delivered to the stack (victim traffic).
+    Udp,
+};
+
+/** Ethernet frame size limits (IEEE 802.3, with VLAN allowance). */
+constexpr Addr minFrameBytes = 64;
+constexpr Addr maxFrameBytes = 1522;
+
+/** Bytes of Ethernet header preceding the payload. */
+constexpr Addr ethHeaderBytes = 26;
+
+/** On-wire overhead per frame: preamble + SFD + inter-frame gap. */
+constexpr Addr wireOverheadBytes = 20;
+
+/**
+ * A received Ethernet frame.
+ */
+struct Frame
+{
+    Addr bytes = minFrameBytes;          ///< Frame size incl. header.
+    Protocol protocol = Protocol::Unknown;
+    std::uint64_t id = 0;                ///< For tracking in tests.
+
+    /** Number of 64 B cache blocks the frame occupies in a buffer. */
+    unsigned
+    blocks() const
+    {
+        return static_cast<unsigned>(
+            (bytes + blockBytes - 1) / blockBytes);
+    }
+
+    /** Time the frame occupies a 1 Gb/s wire, in seconds. */
+    double
+    wireSeconds(double link_bps = 1e9) const
+    {
+        return static_cast<double>((bytes + wireOverheadBytes) * 8) /
+            link_bps;
+    }
+};
+
+/**
+ * Make a frame whose DMA write covers exactly @p blocks cache blocks,
+ * as the covert-channel trojan does (symbol S -> (S+2) blocks).
+ */
+inline Frame
+frameOfBlocks(unsigned blocks, Protocol proto = Protocol::Unknown)
+{
+    Frame f;
+    f.bytes = static_cast<Addr>(blocks) * blockBytes;
+    f.protocol = proto;
+    return f;
+}
+
+} // namespace pktchase::nic
+
+#endif // PKTCHASE_NIC_FRAME_HH

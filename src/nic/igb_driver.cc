@@ -1,0 +1,151 @@
+#include "igb_driver.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::nic
+{
+
+IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
+                     cache::Hierarchy &hier)
+    : cfg_(cfg), phys_(phys), hier_(hier), ring_(cfg.ringSize),
+      rng_(cfg.seed)
+{
+    if (cfg_.bufferBytes != pageBytes / 2)
+        fatal("IgbDriver models exactly two 2 KB buffers per page");
+    if (cfg_.copyBreak >= cfg_.bufferBytes)
+        fatal("IgbDriver: copyBreak must be below the buffer size");
+
+    // One page per descriptor, lower half first: the allocation pattern
+    // Sec. III-A describes (page-aligned, half-page-aligned buffers).
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        ring_.desc(i).pageBase = phys_.allocFrame(mem::Owner::Kernel);
+        ring_.desc(i).pageOffset = 0;
+    }
+
+    // Small recycled pool of skb data pages for copy-break copies.
+    skbPages_ = phys_.allocFrames(64, mem::Owner::Kernel);
+}
+
+IgbDriver::~IgbDriver()
+{
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        phys_.freeFrame(ring_.desc(i).pageBase);
+    for (Addr page : skbPages_)
+        phys_.freeFrame(page);
+}
+
+std::size_t
+IgbDriver::receive(const Frame &frame, Cycles now)
+{
+    if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
+        fatal("IgbDriver::receive: frame size outside 802.3 limits");
+
+    if (cfg_.defense == RingDefense::PartialPeriodic &&
+        stats_.framesReceived > 0 &&
+        stats_.framesReceived % cfg_.randomizeInterval == 0) {
+        randomizeRing();
+    }
+
+    const std::size_t index = ring_.head();
+
+    // NIC DMA: with DDIO the blocks land in the LLC; without, they go
+    // to memory and the driver's reads below demand-fetch them.
+    hier_.dmaWrite(ring_.desc(index).bufferAddr(), frame.bytes, now);
+    ring_.advance();
+
+    // Without DDIO the driver sees the frame only after the I/O write
+    // has reached memory and the interrupt fired.
+    const Cycles when = hier_.ddioEnabled()
+        ? now : now + cfg_.ioToDriverLatency;
+    processRx(index, frame, when);
+
+    ++stats_.framesReceived;
+    return index;
+}
+
+void
+IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
+                     Cycles now)
+{
+    RxDescriptor &desc = ring_.desc(desc_index);
+    const Addr buf = desc.bufferAddr();
+
+    // Header read plus the unconditional next-block prefetch: this is
+    // why 1-block packets still produce block-1 activity in Fig. 8.
+    hier_.cpuRead(buf, now);
+    hier_.cpuRead(buf + blockBytes, now);
+
+    const bool dropped = frame.protocol == Protocol::Unknown;
+    if (dropped)
+        ++stats_.framesDropped;
+
+    if (frame.bytes <= cfg_.copyBreak) {
+        // igb_add_rx_frag small path: memcpy into the skb and reuse the
+        // buffer as-is (Fig. 3), unless it sits on a remote NUMA node.
+        ++stats_.copyBreakFrames;
+        const Addr skb = skbPages_[nextSkb_];
+        nextSkb_ = (nextSkb_ + 1) % skbPages_.size();
+        for (unsigned b = 0; b < frame.blocks(); ++b) {
+            hier_.cpuRead(buf + static_cast<Addr>(b) * blockBytes, now);
+            if (!dropped) {
+                hier_.cpuWrite(skb + static_cast<Addr>(b) * blockBytes,
+                               now);
+            }
+        }
+        if (rng_.nextBool(cfg_.remoteNumaProb))
+            reallocBuffer(desc_index);
+    } else {
+        // Large path: the page is attached to the skb as a fragment.
+        // The stack touches the payload when it consumes the skb; a
+        // dropped frame's payload is never read by the CPU (without
+        // DDIO those blocks therefore never enter the cache).
+        if (!dropped) {
+            const Cycles touch = hier_.ddioEnabled()
+                ? now : now + cfg_.payloadTouchDelay;
+            for (unsigned b = 2; b < frame.blocks(); ++b) {
+                hier_.cpuRead(buf + static_cast<Addr>(b) * blockBytes,
+                              touch);
+            }
+        }
+        // igb_can_reuse_rx_page (Fig. 4): remote pages are reallocated;
+        // otherwise flip to the other half of the page.
+        if (rng_.nextBool(cfg_.remoteNumaProb)) {
+            reallocBuffer(desc_index);
+        } else {
+            desc.pageOffset ^= cfg_.bufferBytes;
+            ++stats_.pageFlips;
+        }
+    }
+
+    if (cfg_.defense == RingDefense::FullRandom)
+        reallocBuffer(desc_index);
+}
+
+void
+IgbDriver::reallocBuffer(std::size_t i)
+{
+    phys_.freeFrame(ring_.desc(i).pageBase);
+    ring_.desc(i).pageBase = phys_.allocFrame(mem::Owner::Kernel);
+    ring_.desc(i).pageOffset = 0;
+    ++stats_.buffersReallocated;
+}
+
+void
+IgbDriver::randomizeRing()
+{
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        reallocBuffer(i);
+    ++stats_.ringRandomizations;
+}
+
+std::vector<std::size_t>
+IgbDriver::groundTruthSets() const
+{
+    std::vector<std::size_t> sets;
+    sets.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        sets.push_back(hier_.llc().globalSet(ring_.desc(i).pageBase));
+    return sets;
+}
+
+} // namespace pktchase::nic

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Model of the Intel Gigabit Ethernet (IGB) driver receive path.
+ *
+ * Reproduces the behaviours Sec. III-A deconstructs (Figs. 3-4):
+ *  - 256 rx buffers of 2 KB, two per 4 KB page, allocated once at init
+ *    and recycled for the driver's lifetime;
+ *  - copy-break: frames <= 256 B are memcpy'd into a socket buffer and
+ *    the rx buffer is reused as-is;
+ *  - larger frames attach the page to the skb as a fragment and flip
+ *    `page_offset ^= 2048`, so consecutive large packets alternate
+ *    between the two halves of the page;
+ *  - the driver always touches the first two blocks of the buffer (the
+ *    header read plus the unconditional next-block prefetch that makes
+ *    1-block packets light up block 1 in Fig. 8);
+ *  - unknown-protocol frames are dropped after the header check with no
+ *    stack activity;
+ *  - optional remote-NUMA reallocation (the unlikely branch in
+ *    igb_can_reuse_rx_page);
+ *  - the Sec. VI software defenses: full per-packet buffer
+ *    randomization and periodic partial randomization.
+ */
+
+#ifndef PKTCHASE_NIC_IGB_DRIVER_HH
+#define PKTCHASE_NIC_IGB_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "nic/frame.hh"
+#include "nic/rx_ring.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace pktchase::nic
+{
+
+/** Software ring-buffer defenses from Sec. VI. */
+enum class RingDefense : std::uint8_t
+{
+    None,            ///< Vulnerable baseline.
+    FullRandom,      ///< Fresh random buffer for every packet.
+    PartialPeriodic, ///< Reshuffle all buffers every N packets.
+};
+
+/** Driver configuration knobs. */
+struct IgbConfig
+{
+    std::size_t ringSize = 256;       ///< Default IGB descriptor count.
+    Addr bufferBytes = 2048;          ///< Half a page per buffer.
+    Addr copyBreak = 256;             ///< IGB_RX_HDR_LEN.
+    double remoteNumaProb = 0.0;      ///< P(buffer lands on remote node).
+
+    RingDefense defense = RingDefense::None;
+    std::uint64_t randomizeInterval = 1000; ///< Packets, for Partial.
+
+    /** Latency from I/O write to driver header read (non-DDIO path). */
+    Cycles ioToDriverLatency = 12000;
+
+    /** Extra delay before the stack touches a large payload (no DDIO). */
+    Cycles payloadTouchDelay = 4000;
+
+    std::uint64_t seed = 11;
+};
+
+/** Receive-path statistics. */
+struct IgbStats
+{
+    std::uint64_t framesReceived = 0;
+    std::uint64_t framesDropped = 0;   ///< Unknown protocol.
+    std::uint64_t copyBreakFrames = 0;
+    std::uint64_t pageFlips = 0;
+    std::uint64_t buffersReallocated = 0;
+    std::uint64_t ringRandomizations = 0;
+};
+
+/**
+ * The driver model: owns the ring, the buffers, and the receive path.
+ */
+class IgbDriver
+{
+  public:
+    /**
+     * Initialize the driver: allocate ringSize pages (one buffer per
+     * page, using the lower half first, per the IGB allocation pattern)
+     * and populate the descriptor ring.
+     *
+     * @param cfg   Driver configuration.
+     * @param phys  Kernel page frame source.
+     * @param hier  Memory hierarchy for buffer/skb accesses.
+     */
+    IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
+              cache::Hierarchy &hier);
+
+    ~IgbDriver();
+
+    IgbDriver(const IgbDriver &) = delete;
+    IgbDriver &operator=(const IgbDriver &) = delete;
+
+    /**
+     * Receive one frame at simulated time @p now: the NIC DMA-writes
+     * the head descriptor's buffer, then the driver processes it
+     * (header read, prefetch, copy-break or page flip, recycling).
+     *
+     * @return Index of the descriptor that was filled.
+     */
+    std::size_t receive(const Frame &frame, Cycles now);
+
+    /** The descriptor ring (ground-truth inspection for experiments). */
+    const RxRing &ring() const { return ring_; }
+
+    /** Physical buffer address currently backing descriptor @p i. */
+    Addr bufferAddr(std::size_t i) const { return ring_.desc(i).bufferAddr(); }
+
+    /** Physical page base currently backing descriptor @p i. */
+    Addr pageBase(std::size_t i) const { return ring_.desc(i).pageBase; }
+
+    /**
+     * Ground truth for Table I scoring: the global page-aligned cache
+     * set of each descriptor's page, in ring order starting at slot 0.
+     */
+    std::vector<std::size_t> groundTruthSets() const;
+
+    const IgbStats &stats() const { return stats_; }
+    const IgbConfig &config() const { return cfg_; }
+
+  private:
+    IgbConfig cfg_;
+    mem::PhysMem &phys_;
+    cache::Hierarchy &hier_;
+    RxRing ring_;
+    Rng rng_;
+    IgbStats stats_;
+
+    /** Small reused pool of skb pages for copy-break destinations. */
+    std::vector<Addr> skbPages_;
+    std::size_t nextSkb_ = 0;
+
+    /** Replace the page backing descriptor @p i with a fresh frame. */
+    void reallocBuffer(std::size_t i);
+
+    /** Reshuffle every descriptor onto fresh pages (partial defense). */
+    void randomizeRing();
+
+    /** Driver-side processing of a filled descriptor. */
+    void processRx(std::size_t desc_index, const Frame &frame,
+                   Cycles now);
+};
+
+} // namespace pktchase::nic
+
+#endif // PKTCHASE_NIC_IGB_DRIVER_HH

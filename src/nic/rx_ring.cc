@@ -1,0 +1,37 @@
+#include "rx_ring.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::nic
+{
+
+RxRing::RxRing(std::size_t size)
+    : descs_(size)
+{
+    if (size == 0)
+        fatal("RxRing requires at least one descriptor");
+}
+
+void
+RxRing::advance()
+{
+    head_ = (head_ + 1) % descs_.size();
+}
+
+RxDescriptor &
+RxRing::desc(std::size_t i)
+{
+    if (i >= descs_.size())
+        panic("RxRing::desc out of range");
+    return descs_[i];
+}
+
+const RxDescriptor &
+RxRing::desc(std::size_t i) const
+{
+    if (i >= descs_.size())
+        panic("RxRing::desc out of range");
+    return descs_[i];
+}
+
+} // namespace pktchase::nic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The shared rx descriptor ring between the NIC and the driver (Fig. 1).
+ *
+ * Each descriptor names a receive buffer: half of a 4 KB kernel page
+ * (the IGB driver packs two 2 KB buffers per page). The NIC fills
+ * descriptors strictly in ring order; the driver recycles buffers back
+ * into the same slots, which is why the fill order is stable across the
+ * driver's lifetime -- the property Algorithm 1 recovers.
+ */
+
+#ifndef PKTCHASE_NIC_RX_RING_HH
+#define PKTCHASE_NIC_RX_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pktchase::nic
+{
+
+/** One rx descriptor: a DMA target within a kernel page. */
+struct RxDescriptor
+{
+    Addr pageBase = 0;    ///< Physical base of the backing page.
+    Addr pageOffset = 0;  ///< 0 or 2048: which half the NIC writes.
+
+    /** Physical DMA target address for the next fill. */
+    Addr bufferAddr() const { return pageBase + pageOffset; }
+};
+
+/**
+ * Fixed-size circular descriptor ring.
+ */
+class RxRing
+{
+  public:
+    /** Construct a ring of @p size descriptors (default IGB: 256). */
+    explicit RxRing(std::size_t size);
+
+    /** Number of descriptors. */
+    std::size_t size() const { return descs_.size(); }
+
+    /** Index of the descriptor the NIC will fill next. */
+    std::size_t head() const { return head_; }
+
+    /** Advance the head past one consumed descriptor. */
+    void advance();
+
+    /** Mutable access to descriptor @p i. */
+    RxDescriptor &desc(std::size_t i);
+
+    /** Read-only access to descriptor @p i. */
+    const RxDescriptor &desc(std::size_t i) const;
+
+    /** Reset the head to slot 0 (driver re-initialization). */
+    void resetHead() { head_ = 0; }
+
+  private:
+    std::vector<RxDescriptor> descs_;
+    std::size_t head_ = 0;
+};
+
+} // namespace pktchase::nic
+
+#endif // PKTCHASE_NIC_RX_RING_HH

@@ -1,0 +1,49 @@
+#include "event_queue.hh"
+
+#include <utility>
+
+#include "logging.hh"
+
+namespace pktchase
+{
+
+void
+EventQueue::schedule(Cycles when, Callback cb)
+{
+    if (when < now_)
+        panic("EventQueue::schedule into the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Cycles delta, Callback cb)
+{
+    schedule(now_ + delta, std::move(cb));
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::runUntil(Cycles horizon)
+{
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+        step();
+        ++executed;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return executed;
+}
+
+} // namespace pktchase

@@ -1,0 +1,94 @@
+#include "lfsr.hh"
+
+#include <bit>
+
+#include "logging.hh"
+
+namespace pktchase
+{
+
+namespace
+{
+
+/**
+ * Build a Fibonacci tap mask from 1-indexed tap positions. With a
+ * right-shifting register, tap position t contributes bit (width - t)
+ * of the state (the Wikipedia convention: taps (16,14,13,11) read
+ * shifts 0, 2, 3, 5).
+ */
+std::uint32_t
+maskFromTaps(unsigned width, std::initializer_list<unsigned> taps)
+{
+    std::uint32_t mask = 0;
+    for (unsigned t : taps)
+        mask |= 1u << (width - t);
+    return mask;
+}
+
+/**
+ * Maximal-length taps indexed by width, from the standard tables of
+ * primitive polynomials over GF(2).
+ */
+std::uint32_t
+tapsForWidth(unsigned width)
+{
+    switch (width) {
+      case 3:  return maskFromTaps(3, {3, 2});
+      case 4:  return maskFromTaps(4, {4, 3});
+      case 5:  return maskFromTaps(5, {5, 3});
+      case 6:  return maskFromTaps(6, {6, 5});
+      case 7:  return maskFromTaps(7, {7, 6});
+      case 8:  return maskFromTaps(8, {8, 6, 5, 4});
+      case 9:  return maskFromTaps(9, {9, 5});
+      case 10: return maskFromTaps(10, {10, 7});
+      case 11: return maskFromTaps(11, {11, 9});
+      case 12: return maskFromTaps(12, {12, 11, 10, 4});
+      case 13: return maskFromTaps(13, {13, 12, 11, 8});
+      case 14: return maskFromTaps(14, {14, 13, 12, 2});
+      case 15: return maskFromTaps(15, {15, 14});
+      case 16: return maskFromTaps(16, {16, 15, 13, 4});
+      default:
+        fatal("Lfsr: unsupported width " + std::to_string(width));
+    }
+}
+
+} // namespace
+
+Lfsr::Lfsr(unsigned width, std::uint32_t seed)
+    : width_(width),
+      mask_((width >= 32) ? 0xFFFFFFFFu : ((1u << width) - 1)),
+      taps_(tapsForWidth(width)),
+      state_(seed & mask_)
+{
+    if (state_ == 0)
+        fatal("Lfsr: seed must be nonzero within the register width");
+}
+
+unsigned
+Lfsr::nextBit()
+{
+    const unsigned out = state_ & 1u;
+    const unsigned feedback =
+        static_cast<unsigned>(std::popcount(state_ & taps_)) & 1u;
+    state_ >>= 1;
+    state_ |= feedback << (width_ - 1);
+    return out;
+}
+
+std::vector<unsigned>
+Lfsr::bits(std::size_t count)
+{
+    std::vector<unsigned> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(nextBit());
+    return out;
+}
+
+std::vector<unsigned>
+Lfsr::supportedWidths()
+{
+    return {3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+}
+
+} // namespace pktchase

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Maximal-length linear feedback shift registers.
+ *
+ * Section IV of the paper measures covert-channel capacity by
+ * transmitting the pseudo-random bit sequence of a 15-bit LFSR with
+ * period 2^15 - 1 (following Liu et al.), which makes bit loss, bit
+ * insertion, and swaps all detectable. This class implements Fibonacci
+ * LFSRs with known maximal-length taps for a range of widths so tests
+ * can sweep the property.
+ */
+
+#ifndef PKTCHASE_SIM_LFSR_HH
+#define PKTCHASE_SIM_LFSR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pktchase
+{
+
+/**
+ * Fibonacci LFSR over GF(2) with maximal-length feedback taps.
+ */
+class Lfsr
+{
+  public:
+    /**
+     * Construct an LFSR.
+     *
+     * @param width Register width in bits; supported widths are those in
+     *              supportedWidths().
+     * @param seed  Initial state; must be nonzero after masking to width.
+     */
+    explicit Lfsr(unsigned width = 15, std::uint32_t seed = 0x1u);
+
+    /** Advance one step and return the output bit (0 or 1). */
+    unsigned nextBit();
+
+    /** Produce the next @p count bits as a vector of 0/1 values. */
+    std::vector<unsigned> bits(std::size_t count);
+
+    /** Current register state (never zero). */
+    std::uint32_t state() const { return state_; }
+
+    /** Register width in bits. */
+    unsigned width() const { return width_; }
+
+    /** Sequence period for a maximal-length LFSR of this width. */
+    std::uint64_t period() const { return (1ull << width_) - 1; }
+
+    /** Widths for which maximal-length taps are tabulated. */
+    static std::vector<unsigned> supportedWidths();
+
+  private:
+    unsigned width_;
+    std::uint32_t mask_;
+    std::uint32_t taps_;
+    std::uint32_t state_;
+};
+
+} // namespace pktchase
+
+#endif // PKTCHASE_SIM_LFSR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ */
+
+#ifndef PKTCHASE_SIM_TYPES_HH
+#define PKTCHASE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace pktchase
+{
+
+/** A physical or virtual byte address. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in CPU core cycles. */
+using Cycles = std::uint64_t;
+
+/** A signed cycle delta, for latencies that may be subtracted. */
+using CycleDelta = std::int64_t;
+
+/** Cache block (line) size in bytes; fixed at 64 across the model. */
+constexpr Addr blockBytes = 64;
+
+/** log2 of the cache block size. */
+constexpr unsigned blockShift = 6;
+
+/** Page size in bytes (4 KB small pages, as the IGB driver maps them). */
+constexpr Addr pageBytes = 4096;
+
+/** log2 of the page size. */
+constexpr unsigned pageShift = 12;
+
+/** Number of cache blocks in one page. */
+constexpr Addr blocksPerPage = pageBytes / blockBytes;
+
+/** Core clock frequency used to convert wall time to cycles (Table II). */
+constexpr double coreFreqHz = 3.3e9;
+
+/**
+ * Convert seconds of wall-clock time into core cycles.
+ *
+ * @param seconds Wall-clock duration.
+ * @return The equivalent number of 3.3 GHz core cycles.
+ */
+constexpr Cycles
+secondsToCycles(double seconds)
+{
+    return static_cast<Cycles>(seconds * coreFreqHz);
+}
+
+/**
+ * Convert core cycles into seconds of wall-clock time.
+ */
+constexpr double
+cyclesToSeconds(Cycles cycles)
+{
+    return static_cast<double>(cycles) / coreFreqHz;
+}
+
+} // namespace pktchase
+
+#endif // PKTCHASE_SIM_TYPES_HH

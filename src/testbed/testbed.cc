@@ -1,0 +1,128 @@
+#include "testbed.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::testbed
+{
+
+namespace
+{
+
+std::unique_ptr<cache::SliceHash>
+hashForGeometry(const cache::Geometry &geom)
+{
+    switch (geom.slices) {
+      case 8:
+        return cache::XorFoldSliceHash::sandyBridgeEP8();
+      case 4:
+        return cache::XorFoldSliceHash::fourSlice();
+      case 2:
+        return cache::XorFoldSliceHash::twoSlice();
+      case 1:
+        return std::make_unique<cache::IdentitySliceHash>(1, 0);
+      default:
+        fatal("Testbed: no slice hash for this slice count");
+    }
+}
+
+} // namespace
+
+TestbedConfig
+TestbedConfig::reduced()
+{
+    TestbedConfig cfg;
+    cfg.llc.geom = cache::Geometry{2, 512, 8};
+    cfg.llc.ioLinesMax = 3;
+    cfg.igb.ringSize = 32;
+    cfg.builder.poolPages = 768;
+    cfg.physBytes = Addr(32) << 20;
+    return cfg;
+}
+
+Testbed::Testbed(const TestbedConfig &cfg)
+    : cfg_(cfg)
+{
+    phys_ = std::make_unique<mem::PhysMem>(cfg_.physBytes,
+                                           Rng(cfg_.seed));
+    hier_ = std::make_unique<cache::Hierarchy>(
+        cfg_.llc, cfg_.hier, hashForGeometry(cfg_.llc.geom), cfg_.ddio);
+    driver_ = std::make_unique<nic::IgbDriver>(cfg_.igb, *phys_, *hier_);
+    spySpace_ = std::make_unique<mem::AddressSpace>(
+        *phys_, mem::Owner::Attacker);
+    builder_ = std::make_unique<attack::EvictionSetBuilder>(
+        *hier_, *spySpace_, cfg_.builder);
+}
+
+const attack::ComboGroups &
+Testbed::groups()
+{
+    if (!groups_) {
+        groups_ = std::make_unique<attack::ComboGroups>(
+            builder_->buildWithOracle());
+    }
+    return *groups_;
+}
+
+std::size_t
+Testbed::comboOf(Addr page_base) const
+{
+    const auto &geom = cfg_.llc.geom;
+    const unsigned slice = hier_->llc().sliceHash().slice(page_base);
+    const unsigned set = geom.setIndex(page_base);
+    return static_cast<std::size_t>(slice) *
+        geom.pageAlignedSetsPerSlice() + set / blocksPerPage;
+}
+
+std::vector<std::size_t>
+Testbed::comboGsets() const
+{
+    const auto &geom = cfg_.llc.geom;
+    std::vector<std::size_t> out;
+    out.reserve(geom.pageAlignedCombos());
+    for (unsigned rank = 0; rank < geom.pageAlignedCombos(); ++rank) {
+        const unsigned slice = rank / geom.pageAlignedSetsPerSlice();
+        const unsigned k = rank % geom.pageAlignedSetsPerSlice();
+        out.push_back(static_cast<std::size_t>(slice) *
+                          geom.setsPerSlice +
+                      static_cast<std::size_t>(k) * blocksPerPage);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Testbed::ringComboSequence() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(driver_->ring().size());
+    for (std::size_t i = 0; i < driver_->ring().size(); ++i)
+        out.push_back(comboOf(driver_->pageBase(i)));
+    return out;
+}
+
+std::vector<std::size_t>
+Testbed::activeCombos() const
+{
+    std::vector<unsigned> counts(cfg_.llc.geom.pageAlignedCombos(), 0);
+    for (std::size_t c : ringComboSequence())
+        ++counts[c];
+    std::vector<std::size_t> out;
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        if (counts[c] > 0)
+            out.push_back(c);
+    return out;
+}
+
+std::vector<std::size_t>
+Testbed::singleBufferCombos() const
+{
+    std::vector<unsigned> counts(cfg_.llc.geom.pageAlignedCombos(), 0);
+    for (std::size_t c : ringComboSequence())
+        ++counts[c];
+    std::vector<std::size_t> out;
+    for (std::size_t c = 0; c < counts.size(); ++c)
+        if (counts[c] == 1)
+            out.push_back(c);
+    return out;
+}
+
+} // namespace pktchase::testbed

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table II: the baseline processor configuration used for the defense
+ * performance evaluation.
+ *
+ * The paper models this machine in gem5 full-system mode. Our request-
+ * level server model does not simulate the out-of-order pipeline; the
+ * structure is carried as configuration metadata (echoed by
+ * bench_table2_baseline_config) and its memory-side parameters seed
+ * the hierarchy latency model.
+ */
+
+#ifndef PKTCHASE_WORKLOAD_CPU_CONFIG_HH
+#define PKTCHASE_WORKLOAD_CPU_CONFIG_HH
+
+#include <cstdint>
+
+namespace pktchase::workload
+{
+
+/** Table II, verbatim. */
+struct BaselineCpuConfig
+{
+    double frequencyGHz = 3.3;
+    unsigned fetchWidthFusedUops = 4;
+    unsigned issueWidthUnfusedUops = 6;
+    unsigned intRegfile = 160;
+    unsigned fpRegfile = 144;
+    unsigned rasEntries[3] = {8, 16, 32};
+    unsigned lqEntries = 64;
+    unsigned sqEntries = 36;
+    unsigned icacheKB = 32;
+    unsigned icacheWays = 8;
+    unsigned dcacheKB = 32;
+    unsigned dcacheWays = 8;
+    unsigned robEntries = 168;
+    unsigned iqEntries = 54;
+    unsigned btbEntries = 256;
+    unsigned intAlus = 6;
+    unsigned intMults = 1;
+};
+
+} // namespace pktchase::workload
+
+#endif // PKTCHASE_WORKLOAD_CPU_CONFIG_HH

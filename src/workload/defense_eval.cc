@@ -1,0 +1,88 @@
+#include "defense_eval.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::workload
+{
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::NoDdio:
+        return "no-ddio";
+      case CacheMode::Ddio:
+        return "ddio";
+      case CacheMode::AdaptivePartition:
+        return "adaptive-partitioning";
+    }
+    return "?";
+}
+
+testbed::TestbedConfig
+makeDefenseConfig(CacheMode mode, const cache::Geometry &geom,
+                  nic::RingDefense defense,
+                  std::uint64_t randomize_interval)
+{
+    testbed::TestbedConfig cfg;
+    cfg.llc.geom = geom;
+    cfg.ddio = mode != CacheMode::NoDdio;
+    cfg.llc.adaptivePartition = mode == CacheMode::AdaptivePartition;
+    cfg.igb.defense = defense;
+    cfg.igb.randomizeInterval = randomize_interval;
+    // The workload experiments never probe; kill measurement noise so
+    // the performance numbers are stable run to run.
+    cfg.hier.timerNoiseSigma = 0.0;
+    cfg.hier.outlierProb = 0.0;
+    // The object store plus streaming windows need more frames than
+    // the attack experiments.
+    cfg.physBytes = Addr(512) << 20;
+    cfg.builder.poolPages = 16; // unused by the workloads
+    return cfg;
+}
+
+ServerMetrics
+nginxThroughput(CacheMode mode, const cache::Geometry &geom,
+                std::size_t requests, const ServerConfig &scfg)
+{
+    testbed::Testbed tb(makeDefenseConfig(mode, geom));
+    ServerWorkload server(tb, scfg);
+    return server.closedLoop(requests);
+}
+
+IoMetrics
+fileCopyMetrics(CacheMode mode, Addr bytes)
+{
+    testbed::Testbed tb(
+        makeDefenseConfig(mode, cache::Geometry::xeonE52660()));
+    return runFileCopy(tb, bytes);
+}
+
+IoMetrics
+tcpRecvMetrics(CacheMode mode, std::uint64_t packets)
+{
+    testbed::Testbed tb(
+        makeDefenseConfig(mode, cache::Geometry::xeonE52660()));
+    return runTcpRecv(tb, packets);
+}
+
+ServerMetrics
+nginxMetrics(CacheMode mode, std::size_t requests)
+{
+    return nginxThroughput(mode, cache::Geometry::xeonE52660(),
+                           requests);
+}
+
+LatencyResult
+nginxLatency(CacheMode mode, nic::RingDefense defense,
+             std::uint64_t randomize_interval, double rate,
+             std::size_t requests, const ServerConfig &scfg)
+{
+    testbed::Testbed tb(makeDefenseConfig(
+        mode, cache::Geometry::xeonE52660(), defense,
+        randomize_interval));
+    ServerWorkload server(tb, scfg);
+    return server.openLoop(rate, requests);
+}
+
+} // namespace pktchase::workload

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Defense-evaluation harness: assembles testbeds in each of the
+ * paper's configurations (No-DDIO / DDIO / adaptive partitioning;
+ * vulnerable / randomized rings) and runs the Sec. VII workloads.
+ */
+
+#ifndef PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH
+#define PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH
+
+#include <cstdint>
+
+#include "nic/igb_driver.hh"
+#include "workload/io_workloads.hh"
+#include "workload/server.hh"
+
+namespace pktchase::workload
+{
+
+/** Cache-side configuration axis of Figs. 14-16. */
+enum class CacheMode : std::uint8_t
+{
+    NoDdio,            ///< DMA to memory, demand fetch on access.
+    Ddio,              ///< Vulnerable baseline.
+    AdaptivePartition, ///< DDIO + the Sec. VII defense.
+};
+
+/** Human-readable mode name. */
+const char *cacheModeName(CacheMode mode);
+
+/**
+ * Build a full-size testbed configuration for @p mode with geometry
+ * @p geom and the given software ring defense.
+ */
+testbed::TestbedConfig
+makeDefenseConfig(CacheMode mode, const cache::Geometry &geom,
+                  nic::RingDefense defense = nic::RingDefense::None,
+                  std::uint64_t randomize_interval = 1000);
+
+/** Fig. 14: peak Nginx throughput for one (mode, geometry) cell. */
+ServerMetrics nginxThroughput(CacheMode mode,
+                              const cache::Geometry &geom,
+                              std::size_t requests,
+                              const ServerConfig &scfg = ServerConfig{});
+
+/** Fig. 15 rows: one I/O workload under one mode. */
+IoMetrics fileCopyMetrics(CacheMode mode, Addr bytes);
+IoMetrics tcpRecvMetrics(CacheMode mode, std::uint64_t packets);
+ServerMetrics nginxMetrics(CacheMode mode, std::size_t requests);
+
+/** Fig. 16: open-loop latency under one defense configuration. */
+LatencyResult
+nginxLatency(CacheMode mode, nic::RingDefense defense,
+             std::uint64_t randomize_interval, double rate,
+             std::size_t requests,
+             const ServerConfig &scfg = ServerConfig{});
+
+} // namespace pktchase::workload
+
+#endif // PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH

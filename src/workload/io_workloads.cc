@@ -1,0 +1,98 @@
+#include "io_workloads.hh"
+
+#include "net/traffic.hh"
+#include "sim/logging.hh"
+
+namespace pktchase::workload
+{
+
+namespace
+{
+
+struct Snapshot
+{
+    std::uint64_t accesses, misses, reads, writes;
+};
+
+Snapshot
+snap(testbed::Testbed &tb)
+{
+    const cache::LlcStats &s = tb.hier().llc().stats();
+    return Snapshot{s.cpuReads + s.cpuWrites,
+                    s.cpuReadMisses + s.cpuWriteMisses,
+                    tb.hier().memReadBlocks(),
+                    tb.hier().memWriteBlocks()};
+}
+
+IoMetrics
+metricsSince(testbed::Testbed &tb, const Snapshot &s0, Cycles elapsed)
+{
+    const Snapshot s1 = snap(tb);
+    IoMetrics m;
+    m.memReadBlocks = s1.reads - s0.reads;
+    m.memWriteBlocks = s1.writes - s0.writes;
+    const std::uint64_t acc = s1.accesses - s0.accesses;
+    m.llcMissRate = acc > 0
+        ? static_cast<double>(s1.misses - s0.misses) /
+            static_cast<double>(acc)
+        : 0.0;
+    m.elapsed = elapsed;
+    return m;
+}
+
+} // namespace
+
+IoMetrics
+runFileCopy(testbed::Testbed &tb, Addr bytes)
+{
+    const Addr pages = (bytes + pageBytes - 1) / pageBytes;
+
+    // A bounded reusable window stands in for the kernel page cache:
+    // dd streams through it, so reuse distance stays small while the
+    // total traffic equals the file size.
+    constexpr Addr window = 1024;
+    mem::AddressSpace space(tb.phys(), mem::Owner::Victim);
+    const Addr src = space.mmap(window);
+    const Addr dst = space.mmap(window);
+
+    const Snapshot s0 = snap(tb);
+    Cycles t = tb.eq().now();
+    const Cycles start = t;
+    for (Addr p = 0; p < pages; ++p) {
+        const Addr slot = p % window;
+        const Addr src_page = space.translate(src + slot * pageBytes);
+        const Addr dst_page = space.translate(dst + slot * pageBytes);
+        // Disk DMA delivers the source page.
+        tb.hier().dmaWrite(src_page, pageBytes, t);
+        // dd copies it.
+        for (Addr b = 0; b < blocksPerPage; ++b) {
+            t += tb.hier().timedRead(src_page + b * blockBytes, t);
+            const bool hit =
+                tb.hier().cpuWrite(dst_page + b * blockBytes, t);
+            t += hit ? tb.hier().config().llcHitLatency
+                     : tb.hier().config().dramLatency;
+        }
+    }
+    return metricsSince(tb, s0, t - start);
+}
+
+IoMetrics
+runTcpRecv(testbed::Testbed &tb, std::uint64_t packets)
+{
+    const Snapshot s0 = snap(tb);
+    const Cycles start = tb.eq().now();
+
+    auto stream = std::make_unique<net::ConstantStream>(
+        64, 0.0, packets, nic::Protocol::Tcp);
+    net::TrafficPump pump(tb.eq(), tb.driver(), std::move(stream),
+                          start + 100);
+    tb.eq().runUntil(start + secondsToCycles(
+        static_cast<double>(packets) /
+            net::maxFrameRate(64) * 1.2 + 0.001));
+
+    if (!pump.exhausted())
+        warn("runTcpRecv: horizon too short, stream not drained");
+    return metricsSince(tb, s0, tb.eq().now() - start);
+}
+
+} // namespace pktchase::workload

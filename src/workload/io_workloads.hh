@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The non-server I/O workloads of Fig. 15: a dd-style file copy and a
+ * constant TCP receive loop with tiny payloads.
+ */
+
+#ifndef PKTCHASE_WORKLOAD_IO_WORKLOADS_HH
+#define PKTCHASE_WORKLOAD_IO_WORKLOADS_HH
+
+#include <cstdint>
+
+#include "testbed/testbed.hh"
+
+namespace pktchase::workload
+{
+
+/** Traffic/miss metrics of one I/O workload run. */
+struct IoMetrics
+{
+    std::uint64_t memReadBlocks = 0;
+    std::uint64_t memWriteBlocks = 0;
+    double llcMissRate = 0.0;
+    Cycles elapsed = 0;
+};
+
+/**
+ * dd-style file copy: the disk DMA-writes source pages (through DDIO
+ * when enabled -- DDIO covers all PCIe DMA, not just the NIC), the CPU
+ * reads them and writes a destination buffer.
+ *
+ * @param bytes Total copy size (the paper uses a 100 MB file).
+ */
+IoMetrics runFileCopy(testbed::Testbed &tb, Addr bytes);
+
+/**
+ * TCP receive loop: @p packets frames of 64 B (8-byte payloads, per
+ * Sec. VII) through the driver, consumed by a reader that copies each
+ * payload out of the socket buffer.
+ */
+IoMetrics runTcpRecv(testbed::Testbed &tb, std::uint64_t packets);
+
+} // namespace pktchase::workload
+
+#endif // PKTCHASE_WORKLOAD_IO_WORKLOADS_HH

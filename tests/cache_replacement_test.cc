@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized tests for the replacement policies, especially the
+ * masked victim selection that partitioning relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+using namespace pktchase;
+using namespace pktchase::cache;
+
+class Policies : public ::testing::TestWithParam<ReplacementKind>
+{
+  protected:
+    static constexpr std::size_t sets = 8;
+    static constexpr unsigned ways = 8;
+
+    std::unique_ptr<ReplacementPolicy>
+    make()
+    {
+        return makeReplacement(GetParam(), sets, ways, Rng(5));
+    }
+};
+
+TEST_P(Policies, VictimAlwaysInMask)
+{
+    auto policy = make();
+    Rng rng(1);
+    for (int t = 0; t < 2000; ++t) {
+        const std::size_t set = rng.nextBounded(sets);
+        WayMask mask = static_cast<WayMask>(
+            rng.nextBounded((1u << ways) - 1) + 1);
+        const unsigned v = policy->victim(set, mask);
+        EXPECT_LT(v, ways);
+        EXPECT_TRUE(mask & (WayMask(1) << v));
+        policy->touch(set, v);
+    }
+}
+
+TEST_P(Policies, SingletonMaskForcesTheWay)
+{
+    auto policy = make();
+    for (unsigned w = 0; w < ways; ++w)
+        EXPECT_EQ(policy->victim(0, WayMask(1) << w), w);
+}
+
+TEST_P(Policies, TouchKeepsRecentWaySafeUnderFullMask)
+{
+    if (GetParam() == ReplacementKind::Random)
+        GTEST_SKIP() << "random has no recency";
+    auto policy = make();
+    const WayMask full = (WayMask(1) << ways) - 1;
+    // Touch ways 0..ways-1 in order; the first touched is the victim.
+    for (unsigned w = 0; w < ways; ++w)
+        policy->touch(3, w);
+    const unsigned v = policy->victim(3, full);
+    EXPECT_EQ(v, 0u);
+    // After re-touching 0, the victim must not be 0.
+    policy->touch(3, 0);
+    EXPECT_NE(policy->victim(3, full), 0u);
+}
+
+TEST_P(Policies, SetsAreIndependent)
+{
+    auto policy = make();
+    const WayMask full = (WayMask(1) << ways) - 1;
+    for (unsigned w = 0; w < ways; ++w)
+        policy->touch(0, w);
+    // Set 1 is untouched; set 0's history must not leak into it.
+    const unsigned v1 = policy->victim(1, full);
+    EXPECT_LT(v1, ways);
+}
+
+TEST_P(Policies, DeathOnEmptyMask)
+{
+    auto policy = make();
+    EXPECT_DEATH(policy->victim(0, 0), "mask");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, Policies,
+    ::testing::Values(ReplacementKind::Lru, ReplacementKind::TreePlru,
+                      ReplacementKind::Random),
+    [](const ::testing::TestParamInfo<ReplacementKind> &info) {
+        switch (info.param) {
+          case ReplacementKind::Lru: return "lru";
+          case ReplacementKind::TreePlru: return "treeplru";
+          default: return "random";
+        }
+    });
+
+TEST(Lru, ExactLeastRecentlyUsedOrder)
+{
+    LruPolicy lru(1, 4);
+    const WayMask full = 0xF;
+    lru.touch(0, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 3);
+    lru.touch(0, 1);
+    EXPECT_EQ(lru.victim(0, full), 2u);
+    lru.touch(0, 2);
+    EXPECT_EQ(lru.victim(0, full), 0u);
+}
+
+TEST(Lru, ResetMakesWayOldest)
+{
+    LruPolicy lru(1, 4);
+    const WayMask full = 0xF;
+    for (unsigned w = 0; w < 4; ++w)
+        lru.touch(0, w);
+    lru.reset(0, 3);
+    EXPECT_EQ(lru.victim(0, full), 3u);
+}
+
+TEST(Lru, MaskedVictimIsOldestCandidate)
+{
+    LruPolicy lru(1, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.touch(0, 3);
+    // Restrict to {1, 3}: 1 is older.
+    EXPECT_EQ(lru.victim(0, (1u << 1) | (1u << 3)), 1u);
+}
+
+TEST(TreePlru, NonPowerOfTwoWays)
+{
+    // 20 ways (the E5-2660 LLC) is not a power of two; the tree pads
+    // to 32 but must never return a way >= 20.
+    TreePlruPolicy plru(4, 20);
+    Rng rng(2);
+    const WayMask full = (WayMask(1) << 20) - 1;
+    for (int t = 0; t < 2000; ++t) {
+        const unsigned v = plru.victim(1, full);
+        EXPECT_LT(v, 20u);
+        plru.touch(1, v);
+    }
+}
+
+TEST(TreePlru, AvoidsJustTouchedWay)
+{
+    TreePlruPolicy plru(1, 8);
+    const WayMask full = 0xFF;
+    for (int t = 0; t < 100; ++t) {
+        const unsigned v = plru.victim(0, full);
+        plru.touch(0, v);
+        EXPECT_NE(plru.victim(0, full), v);
+    }
+}
+
+TEST(Random, CoversCandidates)
+{
+    RandomPolicy rnd(1, 8, Rng(3));
+    const WayMask mask = 0b10101010;
+    std::set<unsigned> seen;
+    for (int t = 0; t < 500; ++t)
+        seen.insert(rnd.victim(0, mask));
+    EXPECT_EQ(seen, (std::set<unsigned>{1, 3, 5, 7}));
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the slice-selection hashes, including the linearity
+ * property the whole eviction-set strategy rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/slice_hash.hh"
+#include "sim/rng.hh"
+
+using namespace pktchase;
+using namespace pktchase::cache;
+
+namespace
+{
+
+struct HashCase
+{
+    const char *name;
+    std::unique_ptr<SliceHash> (*make)();
+};
+
+std::unique_ptr<SliceHash>
+make8()
+{
+    return XorFoldSliceHash::sandyBridgeEP8();
+}
+
+std::unique_ptr<SliceHash>
+make4()
+{
+    return XorFoldSliceHash::fourSlice();
+}
+
+std::unique_ptr<SliceHash>
+make2()
+{
+    return XorFoldSliceHash::twoSlice();
+}
+
+} // namespace
+
+class XorFoldFamilies
+    : public ::testing::TestWithParam<HashCase>
+{
+};
+
+TEST_P(XorFoldFamilies, SliceInRange)
+{
+    const auto hash = GetParam().make();
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(hash->slice(rng.next() & 0x3FFFFFFFFFull),
+                  hash->slices());
+}
+
+TEST_P(XorFoldFamilies, LinearityOverXor)
+{
+    // hash(p ^ d) == hash(p) ^ hash(d): each output bit is a parity.
+    const auto hash = GetParam().make();
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr p = rng.next() & 0x3FFFFFFFFFull;
+        const Addr d = rng.next() & 0x3FFFFFFFFFull;
+        EXPECT_EQ(hash->slice(p ^ d),
+                  hash->slice(p) ^ hash->slice(d));
+    }
+}
+
+TEST_P(XorFoldFamilies, RoughlyUniformOverPages)
+{
+    const auto hash = GetParam().make();
+    std::vector<unsigned> counts(hash->slices(), 0);
+    const unsigned pages = 65536;
+    for (unsigned p = 0; p < pages; ++p)
+        ++counts[hash->slice(Addr(p) * pageBytes)];
+    const double expect =
+        static_cast<double>(pages) / hash->slices();
+    for (unsigned c : counts)
+        EXPECT_NEAR(c, expect, expect * 0.1);
+}
+
+TEST_P(XorFoldFamilies, SameComboPagesAgreeOnAllBlockOffsets)
+{
+    // The Sec. III-B property: if two page bases share (set, slice),
+    // then page+k*64 also shares (set, slice) for every k -- this is
+    // what lets the spy derive block-k eviction sets from page groups.
+    const auto hash = GetParam().make();
+    Rng rng(3);
+    std::vector<Addr> pages;
+    for (int i = 0; i < 4000; ++i)
+        pages.push_back((rng.next() & 0xFFFFFull) * pageBytes);
+    // Bucket by base slice.
+    std::vector<std::vector<Addr>> by_slice(hash->slices());
+    for (Addr p : pages)
+        by_slice[hash->slice(p)].push_back(p);
+    for (const auto &group : by_slice) {
+        if (group.size() < 2)
+            continue;
+        for (unsigned k : {1u, 2u, 3u, 32u, 63u}) {
+            const unsigned s0 =
+                hash->slice(group[0] + k * blockBytes);
+            for (Addr p : group)
+                EXPECT_EQ(hash->slice(p + k * blockBytes), s0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, XorFoldFamilies,
+    ::testing::Values(HashCase{"8slice", &make8},
+                      HashCase{"4slice", &make4},
+                      HashCase{"2slice", &make2}),
+    [](const ::testing::TestParamInfo<HashCase> &info) {
+        return info.param.name;
+    });
+
+TEST(IdentitySliceHash, ExtractsBits)
+{
+    IdentitySliceHash hash(4, 17);
+    EXPECT_EQ(hash.slices(), 4u);
+    EXPECT_EQ(hash.slice(0), 0u);
+    EXPECT_EQ(hash.slice(Addr(3) << 17), 3u);
+    EXPECT_EQ(hash.slice(Addr(4) << 17), 0u);
+}
+
+TEST(IdentitySliceHashDeath, NonPowerOfTwoFatal)
+{
+    EXPECT_EXIT(IdentitySliceHash(3, 17),
+                ::testing::ExitedWithCode(1), "power");
+}
+
+TEST(XorFoldDeath, TooManyBitsFatal)
+{
+    EXPECT_EXIT(XorFoldSliceHash(std::vector<Addr>{1, 2, 4, 8}),
+                ::testing::ExitedWithCode(1), "1..3");
+}
+
+TEST(XorFold, SliceCountMatchesMaskCount)
+{
+    EXPECT_EQ(XorFoldSliceHash::sandyBridgeEP8()->slices(), 8u);
+    EXPECT_EQ(XorFoldSliceHash::fourSlice()->slices(), 4u);
+    EXPECT_EQ(XorFoldSliceHash::twoSlice()->slices(), 2u);
+}

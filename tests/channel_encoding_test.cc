@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the covert-channel symbol encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/encoding.hh"
+#include "sim/lfsr.hh"
+
+using namespace pktchase;
+using namespace pktchase::channel;
+
+TEST(Encoding, Arity)
+{
+    EXPECT_EQ(arity(Scheme::Binary), 2u);
+    EXPECT_EQ(arity(Scheme::Ternary), 3u);
+}
+
+TEST(Encoding, BitsPerSymbol)
+{
+    EXPECT_DOUBLE_EQ(bitsPerSymbol(Scheme::Binary), 1.0);
+    EXPECT_NEAR(bitsPerSymbol(Scheme::Ternary), 1.585, 1e-3);
+}
+
+TEST(Encoding, FrameSizesMatchPaper)
+{
+    // Sec. IV-b: binary 64/256 B; ternary 64/192/256 B.
+    EXPECT_EQ(frameBytes(Scheme::Binary, 0), 64u);
+    EXPECT_EQ(frameBytes(Scheme::Binary, 1), 256u);
+    EXPECT_EQ(frameBytes(Scheme::Ternary, 0), 64u);
+    EXPECT_EQ(frameBytes(Scheme::Ternary, 1), 192u);
+    EXPECT_EQ(frameBytes(Scheme::Ternary, 2), 256u);
+}
+
+TEST(Encoding, AllSizesStayBelowCopyBreak)
+{
+    // Keeping every covert frame at or below 256 B means the driver
+    // never flips page halves under the channel.
+    for (Scheme s : {Scheme::Binary, Scheme::Ternary})
+        for (unsigned sym = 0; sym < arity(s); ++sym)
+            EXPECT_LE(frameBytes(s, sym), 256u);
+}
+
+TEST(Encoding, DecodeInvertsEncodeThroughBlockActivity)
+{
+    // Encode -> block activity -> decode is the identity.
+    for (Scheme s : {Scheme::Binary, Scheme::Ternary}) {
+        for (unsigned sym = 0; sym < arity(s); ++sym) {
+            const Addr bytes = frameBytes(s, sym);
+            const unsigned blocks = static_cast<unsigned>(
+                (bytes + blockBytes - 1) / blockBytes);
+            const bool b2 = blocks >= 3;
+            const bool b3 = blocks >= 4;
+            EXPECT_EQ(decodeActivity(s, b2, b3), sym)
+                << "scheme " << static_cast<int>(s) << " sym " << sym;
+        }
+    }
+}
+
+TEST(Encoding, BinaryDecodeIsRedundant)
+{
+    // Either data row alone decodes "1" (noise tolerance).
+    EXPECT_EQ(decodeActivity(Scheme::Binary, true, false), 1u);
+    EXPECT_EQ(decodeActivity(Scheme::Binary, false, true), 1u);
+    EXPECT_EQ(decodeActivity(Scheme::Binary, false, false), 0u);
+}
+
+TEST(Encoding, BitsToSymbolsBinaryIdentity)
+{
+    const std::vector<unsigned> bits{1, 0, 1, 1, 0};
+    EXPECT_EQ(bitsToSymbols(Scheme::Binary, bits), bits);
+}
+
+TEST(Encoding, BitsToSymbolsTernaryInRange)
+{
+    Lfsr lfsr(15, 3);
+    const auto symbols =
+        bitsToSymbols(Scheme::Ternary, lfsr.bits(1000));
+    EXPECT_EQ(symbols.size(), 500u);
+    for (unsigned s : symbols)
+        EXPECT_LT(s, 3u);
+}
+
+TEST(EncodingDeath, SymbolOutOfRange)
+{
+    EXPECT_DEATH(frameBytes(Scheme::Binary, 2), "range");
+    EXPECT_DEATH(frameBytes(Scheme::Ternary, 3), "range");
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the website-trace model and the correlation classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/attack.hh"
+#include "fingerprint/classifier.hh"
+#include "fingerprint/website.hh"
+#include "sim/rng.hh"
+
+using namespace pktchase;
+using namespace pktchase::fingerprint;
+
+TEST(Website, SizeClassClamping)
+{
+    EXPECT_EQ(sizeClassOf(64), 1u);
+    EXPECT_EQ(sizeClassOf(128), 2u);
+    EXPECT_EQ(sizeClassOf(192), 3u);
+    EXPECT_EQ(sizeClassOf(256), 4u);
+    EXPECT_EQ(sizeClassOf(1514), 4u); // 4+ bucket
+}
+
+TEST(Website, SignaturesAreStablePerSeed)
+{
+    WebsiteDb a({"x", "y"}, 7);
+    WebsiteDb b({"x", "y"}, 7);
+    EXPECT_EQ(a.signature(0), b.signature(0));
+    EXPECT_EQ(a.signature(1), b.signature(1));
+}
+
+TEST(Website, SignaturesDifferAcrossSites)
+{
+    WebsiteDb db({"a", "b", "c"}, 11);
+    EXPECT_NE(db.signature(0), db.signature(1));
+    EXPECT_NE(db.signature(1), db.signature(2));
+}
+
+TEST(Website, SignatureSizesAreValidFrames)
+{
+    WebsiteDb db({"a"}, 13);
+    for (Addr s : db.signature(0)) {
+        EXPECT_GE(s, nic::minFrameBytes);
+        EXPECT_LE(s, nic::maxFrameBytes);
+    }
+}
+
+TEST(Website, VisitsAreNoisyButSimilar)
+{
+    WebsiteDb db({"a"}, 17);
+    Rng rng(1);
+    const auto v1 = db.visit(0, rng);
+    const auto v2 = db.visit(0, rng);
+    EXPECT_FALSE(v1.empty());
+    // Different instances...
+    bool identical = v1.size() == v2.size();
+    if (identical) {
+        for (std::size_t i = 0; i < v1.size(); ++i)
+            identical &= v1[i].bytes == v2[i].bytes;
+    }
+    EXPECT_FALSE(identical);
+    // ...but near the signature length.
+    EXPECT_NEAR(static_cast<double>(v1.size()),
+                static_cast<double>(db.signature(0).size()), 15.0);
+}
+
+TEST(Website, VisitFramesAreTcp)
+{
+    WebsiteDb db({"a"}, 19);
+    Rng rng(2);
+    for (const auto &f : db.visit(0, rng))
+        EXPECT_EQ(f.protocol, nic::Protocol::Tcp);
+}
+
+TEST(Website, LoginPairSharesPrefixDivergesAfter)
+{
+    WebsiteDb db = WebsiteDb::loginPair(23);
+    ASSERT_EQ(db.size(), 2u);
+    const auto &ok = db.signature(0);
+    const auto &fail = db.signature(1);
+    // Shared handshake prefix.
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(ok[i], fail[i]);
+    // Tail differs: success streams MTU frames, failure chatters.
+    unsigned ok_large = 0, fail_large = 0;
+    for (std::size_t i = 20; i < ok.size(); ++i) {
+        ok_large += ok[i] >= 1400;
+        fail_large += fail[i] >= 1400;
+    }
+    EXPECT_GT(ok_large, fail_large + 20);
+}
+
+TEST(Classifier, SelfClassificationOnCleanTraces)
+{
+    WebsiteDb db({"a", "b", "c", "d"}, 29);
+    CorrelationClassifier clf;
+    Rng rng(3);
+    for (std::size_t s = 0; s < db.size(); ++s)
+        for (int v = 0; v < 10; ++v)
+            clf.train(s, FingerprintAttack::truthClasses(
+                             db.visit(s, rng), 100));
+    unsigned correct = 0, trials = 0;
+    for (std::size_t s = 0; s < db.size(); ++s) {
+        for (int v = 0; v < 10; ++v) {
+            const auto classes = FingerprintAttack::truthClasses(
+                db.visit(s, rng), 100);
+            correct += clf.classify(classes) == s;
+            ++trials;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / trials, 0.85);
+}
+
+TEST(Classifier, RepresentativeIsAverage)
+{
+    CorrelationClassifier clf(ClassifierConfig{5, 4});
+    clf.train(0, {1, 1, 1, 1});
+    clf.train(0, {3, 3, 3, 3});
+    const auto rep = clf.representative(0);
+    for (double x : rep)
+        EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Classifier, ScoreSelfIsHigh)
+{
+    CorrelationClassifier clf(ClassifierConfig{2, 8});
+    const std::vector<unsigned> t{1, 4, 4, 1, 2, 4, 1, 3};
+    clf.train(0, t);
+    EXPECT_NEAR(clf.score(0, t), 1.0, 1e-9);
+}
+
+TEST(Classifier, TrainingIsOrderIndependentAcrossSites)
+{
+    CorrelationClassifier clf(ClassifierConfig{2, 4});
+    clf.train(2, {1, 2, 3, 4}); // site 2 before 0/1
+    clf.train(0, {4, 3, 2, 1});
+    EXPECT_EQ(clf.sites(), 3u);
+    EXPECT_EQ(clf.classify({1, 2, 3, 4}), 2u);
+    EXPECT_EQ(clf.classify({4, 3, 2, 1}), 0u);
+}
+
+TEST(ClassifierDeath, UntrainedSitePanics)
+{
+    CorrelationClassifier clf;
+    EXPECT_DEATH(clf.representative(0), "untrained");
+    EXPECT_DEATH(clf.classify({1, 2, 3}), "no training");
+}
+
+TEST(FingerprintEndToEnd, BeatsChanceOnSmallWorld)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    WebsiteDb db({"s0", "s1", "s2"}, 31);
+    FingerprintConfig cfg;
+    cfg.trainVisits = 8;
+    cfg.trials = 12;
+    FingerprintAttack atk(tb, db, cfg);
+    const FingerprintResult r = atk.evaluate();
+    EXPECT_EQ(r.trials, 12u);
+    // Chance is 1/3; the attack should be far above it.
+    EXPECT_GT(r.accuracy, 0.7);
+}
+
+TEST(FingerprintEndToEnd, CaptureProducesValidClasses)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    WebsiteDb db({"s0", "s1"}, 37);
+    FingerprintConfig cfg;
+    FingerprintAttack atk(tb, db, cfg);
+    Rng rng(4);
+    const auto classes = atk.captureVisit(0, rng);
+    EXPECT_GT(classes.size(), 50u);
+    for (unsigned c : classes) {
+        EXPECT_GE(c, 1u);
+        EXPECT_LE(c, 4u);
+    }
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Full attack-pipeline integration tests: footprint recovery ->
+ * sequence recovery -> packet chasing -> size leakage, and the
+ * defenses closing each stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/chasing.hh"
+#include "attack/footprint.hh"
+#include "attack/sequencer.hh"
+#include "attack/size_detector.hh"
+#include "net/traffic.hh"
+#include "sim/stats.hh"
+#include "testbed/testbed.hh"
+
+using namespace pktchase;
+using namespace pktchase::attack;
+
+namespace
+{
+
+std::vector<std::size_t>
+allCombos(testbed::Testbed &tb)
+{
+    std::vector<std::size_t> all;
+    for (std::size_t c = 0; c < tb.groups().groups.size(); ++c)
+        all.push_back(c);
+    return all;
+}
+
+} // namespace
+
+TEST(Integration, FootprintFindsExactlyTheBufferCombos)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    FootprintScanner scanner(tb.hier(), tb.groups(), allCombos(tb),
+                             FootprintConfig{});
+    net::TrafficPump pump(
+        tb.eq(), tb.driver(),
+        std::make_unique<net::ConstantStream>(192, 200000.0, 0),
+        tb.eq().now() + 1000);
+    const auto samples =
+        scanner.scan(tb.eq(), tb.eq().now() + secondsToCycles(0.05));
+    const auto found =
+        FootprintScanner::candidateBufferSets(samples, 0.05, 0.95);
+    const auto truth = tb.activeCombos();
+    EXPECT_EQ(found.size(), truth.size());
+    EXPECT_TRUE(std::equal(found.begin(), found.end(), truth.begin()));
+}
+
+TEST(Integration, IdleSystemShowsNoFootprint)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    FootprintScanner scanner(tb.hier(), tb.groups(), allCombos(tb),
+                             FootprintConfig{});
+    const auto samples =
+        scanner.scan(tb.eq(), tb.eq().now() + secondsToCycles(0.02));
+    const auto rates = FootprintScanner::activityRates(samples);
+    for (double r : rates)
+        EXPECT_LT(r, 0.05);
+}
+
+TEST(Integration, SequencerRecoversRingOrderAtTableIQuality)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    auto active = tb.activeCombos();
+    active.resize(32);
+    net::TrafficPump pump(
+        tb.eq(), tb.driver(),
+        std::make_unique<net::ConstantStream>(128, 100000.0, 0),
+        tb.eq().now() + 1000);
+    SequencerConfig cfg;
+    cfg.nSamples = 40000;
+    cfg.probeRateHz = 100000;
+    cfg.ways = tb.config().llc.geom.ways;
+    Sequencer seq(tb.hier(), tb.groups(), active, cfg);
+    const SequencerResult result = seq.run(tb.eq());
+
+    const auto all_gsets = tb.comboGsets();
+    std::vector<std::size_t> monitored_gsets;
+    for (std::size_t c : active)
+        monitored_gsets.push_back(all_gsets[c]);
+    std::vector<std::size_t> ring_gsets;
+    for (std::size_t c : tb.ringComboSequence())
+        ring_gsets.push_back(all_gsets[c]);
+    const auto expected =
+        expectedMonitorSequence(ring_gsets, monitored_gsets);
+
+    ASSERT_FALSE(result.sequence.empty());
+    const double err =
+        static_cast<double>(cyclicLevenshtein(result.sequence,
+                                              expected)) /
+        static_cast<double>(expected.size());
+    // Table I reports 9.8% [8.5, 13.6]; accept anything comparable.
+    EXPECT_LT(err, 0.15);
+}
+
+TEST(Integration, SizeDetectorSeesDiagonalPattern)
+{
+    // Fig. 8: row k active iff packet covers block k -- except row 1,
+    // which the driver prefetch lights up for 1-block packets too.
+    for (unsigned pkt_blocks : {1u, 2u, 3u, 4u}) {
+        testbed::Testbed tb(testbed::TestbedConfig{});
+        auto combos = tb.activeCombos();
+        combos.resize(16);
+        SizeDetectorConfig cfg;
+        cfg.ways = tb.config().llc.geom.ways;
+        SizeDetector det(tb.hier(), tb.groups(), combos, cfg);
+        net::TrafficPump pump(
+            tb.eq(), tb.driver(),
+            std::make_unique<net::ConstantStream>(
+                pkt_blocks * blockBytes, 200000.0, 0),
+            tb.eq().now() + 1000);
+        const auto rates =
+            det.measure(tb.eq(), tb.eq().now() + secondsToCycles(0.04));
+        const auto row = SizeDetector::rowActivity(rates);
+        ASSERT_EQ(row.size(), 4u);
+        for (unsigned r = 0; r < 4; ++r) {
+            const bool expect_active =
+                r < pkt_blocks || r == 1; // prefetch anomaly
+            if (expect_active)
+                EXPECT_GT(row[r], 0.02)
+                    << "pkt=" << pkt_blocks << " row=" << r;
+            else
+                EXPECT_LT(row[r], 0.01)
+                    << "pkt=" << pkt_blocks << " row=" << r;
+        }
+    }
+}
+
+TEST(Integration, ChasingObservesSizesInOrder)
+{
+    testbed::Testbed tb(testbed::TestbedConfig{});
+    // Repeating size pattern 1,3,4 blocks at a moderate rate.
+    std::vector<nic::Frame> frames;
+    for (int rep = 0; rep < 300; ++rep)
+        for (unsigned b : {1u, 3u, 4u})
+            frames.push_back(nic::frameOfBlocks(b));
+    net::TrafficPump pump(
+        tb.eq(), tb.driver(),
+        std::make_unique<net::ReplayStream>(frames, 50000.0),
+        tb.eq().now() + 1000);
+
+    ChasingConfig cfg;
+    cfg.ways = tb.config().llc.geom.ways;
+    cfg.probeInterval = 5000;
+    ChasingMonitor chaser(tb.hier(), tb.groups(),
+                          tb.ringComboSequence(), cfg);
+    const ChaseResult r =
+        chaser.chase(tb.eq(), tb.eq().now() + secondsToCycles(0.03));
+
+    ASSERT_GT(r.packets.size(), 100u);
+    // The observed class stream must repeat (>=2, 3, 4): 1-block
+    // packets read as class 2 because of the driver prefetch.
+    unsigned matches = 0, windows = 0;
+    for (std::size_t i = 0; i + 2 < r.packets.size(); i += 3) {
+        ++windows;
+        const unsigned a = r.packets[i].sizeClass;
+        const unsigned b = r.packets[i + 1].sizeClass;
+        const unsigned c = r.packets[i + 2].sizeClass;
+        // Any rotation of (<=2, 3, 4).
+        const auto is_pattern = [](unsigned x, unsigned y, unsigned z) {
+            return x <= 2 && y == 3 && z == 4;
+        };
+        if (is_pattern(a, b, c) || is_pattern(b, c, a) ||
+            is_pattern(c, a, b)) {
+            ++matches;
+        }
+    }
+    EXPECT_GT(static_cast<double>(matches) / windows, 0.8);
+}
+
+TEST(Integration, AdaptivePartitionBlindsTheScanner)
+{
+    testbed::TestbedConfig tcfg;
+    tcfg.llc.adaptivePartition = true;
+    testbed::Testbed tb(tcfg);
+    FootprintScanner scanner(tb.hier(), tb.groups(), allCombos(tb),
+                             FootprintConfig{});
+    net::TrafficPump pump(
+        tb.eq(), tb.driver(),
+        std::make_unique<net::ConstantStream>(192, 200000.0, 0),
+        tb.eq().now() + 1000);
+    const auto samples =
+        scanner.scan(tb.eq(), tb.eq().now() + secondsToCycles(0.04));
+    const auto found =
+        FootprintScanner::candidateBufferSets(samples, 0.05, 0.95);
+    EXPECT_TRUE(found.empty());
+    EXPECT_EQ(tb.hier().llc().stats().cpuEvictedByIo, 0u);
+}
+
+TEST(Integration, FullRandomizationDegradesSequenceRecovery)
+{
+    testbed::TestbedConfig tcfg;
+    tcfg.igb.defense = nic::RingDefense::FullRandom;
+    testbed::Testbed tb(tcfg);
+    auto active = tb.activeCombos();
+    if (active.size() > 32)
+        active.resize(32);
+    net::TrafficPump pump(
+        tb.eq(), tb.driver(),
+        std::make_unique<net::ConstantStream>(128, 100000.0, 0),
+        tb.eq().now() + 1000);
+    SequencerConfig cfg;
+    cfg.nSamples = 20000;
+    cfg.probeRateHz = 100000;
+    cfg.ways = tb.config().llc.geom.ways;
+    Sequencer seq(tb.hier(), tb.groups(), active, cfg);
+    const SequencerResult result = seq.run(tb.eq());
+
+    // With buffers re-randomized per packet there is no stable ring
+    // order; the recovered "sequence" must be far from any stable
+    // 32-node ring (distance near the sequence length itself) or
+    // essentially empty.
+    const auto all_gsets = tb.comboGsets();
+    std::vector<std::size_t> monitored_gsets;
+    for (std::size_t c : active)
+        monitored_gsets.push_back(all_gsets[c]);
+    std::vector<std::size_t> ring_gsets;
+    for (std::size_t c : tb.ringComboSequence())
+        ring_gsets.push_back(all_gsets[c]);
+    const auto expected =
+        expectedMonitorSequence(ring_gsets, monitored_gsets);
+    if (!result.sequence.empty() && !expected.empty()) {
+        const double err = static_cast<double>(
+                               cyclicLevenshtein(result.sequence,
+                                                 expected)) /
+            static_cast<double>(expected.size());
+        EXPECT_GT(err, 0.4);
+    }
+}

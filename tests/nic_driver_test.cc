@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the IGB driver model: the buffer-management behaviours of
+ * Sec. III-A that the attack deconstructs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/hierarchy.hh"
+#include "mem/phys_mem.hh"
+#include "nic/igb_driver.hh"
+
+using namespace pktchase;
+using namespace pktchase::nic;
+
+namespace
+{
+
+struct World
+{
+    mem::PhysMem phys;
+    cache::Hierarchy hier;
+
+    explicit World(bool ddio = true)
+        : phys(Addr(64) << 20, Rng(1)),
+          hier(smallLlc(), quietHier(),
+               cache::XorFoldSliceHash::twoSlice(), ddio)
+    {
+    }
+
+    static cache::LlcConfig
+    smallLlc()
+    {
+        cache::LlcConfig cfg;
+        cfg.geom = cache::Geometry{2, 512, 8};
+        return cfg;
+    }
+
+    static cache::HierarchyConfig
+    quietHier()
+    {
+        cache::HierarchyConfig cfg;
+        cfg.timerNoiseSigma = 0.0;
+        cfg.outlierProb = 0.0;
+        return cfg;
+    }
+};
+
+IgbConfig
+smallRing(std::size_t size = 16)
+{
+    IgbConfig cfg;
+    cfg.ringSize = size;
+    return cfg;
+}
+
+Frame
+frameOf(Addr bytes, Protocol proto = Protocol::Unknown)
+{
+    Frame f;
+    f.bytes = bytes;
+    f.protocol = proto;
+    return f;
+}
+
+} // namespace
+
+TEST(IgbDriver, InitAllocatesDistinctPageAlignedBuffers)
+{
+    World w;
+    IgbDriver drv(smallRing(32), w.phys, w.hier);
+    std::set<Addr> pages;
+    for (std::size_t i = 0; i < 32; ++i) {
+        const Addr page = drv.pageBase(i);
+        EXPECT_EQ(page % pageBytes, 0u);
+        EXPECT_TRUE(pages.insert(page).second);
+        EXPECT_EQ(drv.bufferAddr(i), page); // lower half first
+        EXPECT_EQ(w.phys.ownerOf(page), mem::Owner::Kernel);
+    }
+}
+
+TEST(IgbDriver, FillsDescriptorsInRingOrder)
+{
+    World w;
+    IgbDriver drv(smallRing(8), w.phys, w.hier);
+    for (std::size_t i = 0; i < 20; ++i)
+        EXPECT_EQ(drv.receive(frameOf(64), i * 1000), i % 8);
+}
+
+TEST(IgbDriver, CopyBreakReusesBufferAsIs)
+{
+    World w;
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr page = drv.pageBase(0);
+    drv.receive(frameOf(256), 0); // == copyBreak -> small path
+    EXPECT_EQ(drv.pageBase(0), page);
+    EXPECT_EQ(drv.bufferAddr(0), page); // offset unchanged
+    EXPECT_EQ(drv.stats().copyBreakFrames, 1u);
+    EXPECT_EQ(drv.stats().pageFlips, 0u);
+}
+
+TEST(IgbDriver, LargeFrameFlipsPageOffset)
+{
+    World w;
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr page = drv.pageBase(0);
+    drv.receive(frameOf(1000), 0);
+    EXPECT_EQ(drv.pageBase(0), page);           // same page...
+    EXPECT_EQ(drv.bufferAddr(0), page + 2048);  // ...other half
+    EXPECT_EQ(drv.stats().pageFlips, 1u);
+}
+
+TEST(IgbDriver, FlipAlternatesHalves)
+{
+    World w;
+    IgbDriver drv(smallRing(1), w.phys, w.hier);
+    const Addr page = drv.pageBase(0);
+    for (int i = 0; i < 6; ++i) {
+        const Addr expect = page + (i % 2 == 0 ? 0 : 2048);
+        EXPECT_EQ(drv.bufferAddr(0), expect);
+        drv.receive(frameOf(1514), Cycles(i) * 100000);
+    }
+}
+
+TEST(IgbDriver, DmaLandsInLlcWithDdio)
+{
+    World w(true);
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr buf = drv.bufferAddr(0);
+    drv.receive(frameOf(256), 0);
+    for (unsigned b = 0; b < 4; ++b)
+        EXPECT_TRUE(w.hier.llc().contains(buf + b * blockBytes));
+}
+
+TEST(IgbDriver, PrefetchTouchesSecondBlockForTinyFrames)
+{
+    // The Fig. 8 anomaly: 1-block packets still cause block-1 fills.
+    World w(true);
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr buf = drv.bufferAddr(0);
+    drv.receive(frameOf(64), 0);
+    EXPECT_TRUE(w.hier.llc().contains(buf));
+    EXPECT_TRUE(w.hier.llc().contains(buf + blockBytes));
+    EXPECT_FALSE(w.hier.llc().contains(buf + 2 * blockBytes));
+}
+
+TEST(IgbDriver, DroppedLargeFramePayloadNeverCachedWithoutDdio)
+{
+    // Sec. IV-d: without DDIO only the header blocks the driver reads
+    // enter the cache; a dropped broadcast frame's payload does not.
+    World w(false);
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr buf = drv.bufferAddr(0);
+    drv.receive(frameOf(1000, Protocol::Unknown), 0);
+    EXPECT_TRUE(w.hier.llc().contains(buf));                  // header
+    EXPECT_TRUE(w.hier.llc().contains(buf + blockBytes));     // prefetch
+    EXPECT_FALSE(w.hier.llc().contains(buf + 4 * blockBytes)); // payload
+    EXPECT_EQ(drv.stats().framesDropped, 1u);
+}
+
+TEST(IgbDriver, ConsumedLargeFramePayloadCachedWithoutDdio)
+{
+    World w(false);
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    const Addr buf = drv.bufferAddr(0);
+    drv.receive(frameOf(1000, Protocol::Tcp), 0);
+    for (unsigned b = 0; b < frameOf(1000).blocks(); ++b)
+        EXPECT_TRUE(w.hier.llc().contains(buf + b * blockBytes));
+}
+
+TEST(IgbDriver, FullRandomDefenseReallocatesEveryPacket)
+{
+    World w;
+    IgbConfig cfg = smallRing();
+    cfg.defense = RingDefense::FullRandom;
+    IgbDriver drv(cfg, w.phys, w.hier);
+    const Addr before = drv.pageBase(0);
+    drv.receive(frameOf(64), 0);
+    EXPECT_NE(drv.pageBase(0), before);
+    EXPECT_EQ(drv.stats().buffersReallocated, 1u);
+}
+
+TEST(IgbDriver, PartialDefenseReallocatesOnInterval)
+{
+    World w;
+    IgbConfig cfg = smallRing(8);
+    cfg.defense = RingDefense::PartialPeriodic;
+    cfg.randomizeInterval = 10;
+    IgbDriver drv(cfg, w.phys, w.hier);
+    for (int i = 0; i < 10; ++i)
+        drv.receive(frameOf(64), Cycles(i) * 1000);
+    EXPECT_EQ(drv.stats().ringRandomizations, 0u);
+    drv.receive(frameOf(64), 100000);
+    EXPECT_EQ(drv.stats().ringRandomizations, 1u);
+    EXPECT_EQ(drv.stats().buffersReallocated, 8u);
+}
+
+TEST(IgbDriver, RemoteNumaForcesReallocation)
+{
+    World w;
+    IgbConfig cfg = smallRing();
+    cfg.remoteNumaProb = 1.0; // every buffer is "remote"
+    IgbDriver drv(cfg, w.phys, w.hier);
+    const Addr before = drv.pageBase(0);
+    drv.receive(frameOf(64), 0);
+    EXPECT_NE(drv.pageBase(0), before);
+}
+
+TEST(IgbDriver, GroundTruthSetsArePageAligned)
+{
+    World w;
+    IgbDriver drv(smallRing(16), w.phys, w.hier);
+    const auto sets = drv.groundTruthSets();
+    EXPECT_EQ(sets.size(), 16u);
+    const auto &geom = w.hier.llc().geometry();
+    for (std::size_t g : sets) {
+        const unsigned per_slice =
+            static_cast<unsigned>(g % geom.setsPerSlice);
+        EXPECT_TRUE(geom.isPageAlignedSet(per_slice));
+    }
+}
+
+TEST(IgbDriver, RingOrderStableWithoutDefense)
+{
+    // The property Algorithm 1 exploits: buffers recycle in place.
+    World w;
+    IgbDriver drv(smallRing(8), w.phys, w.hier);
+    const auto before = drv.groundTruthSets();
+    for (int i = 0; i < 100; ++i)
+        drv.receive(frameOf(200), Cycles(i) * 1000);
+    EXPECT_EQ(drv.groundTruthSets(), before);
+}
+
+TEST(IgbDriver, StatsCountFrames)
+{
+    World w;
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    drv.receive(frameOf(64, Protocol::Tcp), 0);
+    drv.receive(frameOf(64, Protocol::Unknown), 1);
+    EXPECT_EQ(drv.stats().framesReceived, 2u);
+    EXPECT_EQ(drv.stats().framesDropped, 1u);
+}
+
+TEST(IgbDriverDeath, OversizeFrameFatal)
+{
+    World w;
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    EXPECT_EXIT(drv.receive(frameOf(2000), 0),
+                ::testing::ExitedWithCode(1), "802.3");
+}
+
+TEST(IgbDriverDeath, UndersizeFrameFatal)
+{
+    World w;
+    IgbDriver drv(smallRing(), w.phys, w.hier);
+    EXPECT_EXIT(drv.receive(frameOf(32), 0),
+                ::testing::ExitedWithCode(1), "802.3");
+}
+
+TEST(Frame, BlockCounts)
+{
+    EXPECT_EQ(frameOf(64).blocks(), 1u);
+    EXPECT_EQ(frameOf(65).blocks(), 2u);
+    EXPECT_EQ(frameOf(192).blocks(), 3u);
+    EXPECT_EQ(frameOf(256).blocks(), 4u);
+    EXPECT_EQ(frameOf(1514).blocks(), 24u);
+}
+
+TEST(Frame, FrameOfBlocksInvertsBlocks)
+{
+    for (unsigned b = 1; b <= 23; ++b)
+        EXPECT_EQ(frameOfBlocks(b).blocks(), b);
+}

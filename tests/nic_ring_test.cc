@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the rx descriptor ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/rx_ring.hh"
+
+using namespace pktchase;
+using namespace pktchase::nic;
+
+TEST(RxRing, HeadWrapsAround)
+{
+    RxRing ring(4);
+    EXPECT_EQ(ring.head(), 0u);
+    for (int i = 0; i < 4; ++i)
+        ring.advance();
+    EXPECT_EQ(ring.head(), 0u);
+    ring.advance();
+    EXPECT_EQ(ring.head(), 1u);
+}
+
+TEST(RxRing, DescriptorStorage)
+{
+    RxRing ring(8);
+    ring.desc(3).pageBase = 0x1000;
+    ring.desc(3).pageOffset = 2048;
+    EXPECT_EQ(ring.desc(3).bufferAddr(), 0x1000u + 2048u);
+    EXPECT_EQ(ring.desc(4).bufferAddr(), 0u);
+}
+
+TEST(RxRing, ResetHead)
+{
+    RxRing ring(4);
+    ring.advance();
+    ring.advance();
+    ring.resetHead();
+    EXPECT_EQ(ring.head(), 0u);
+}
+
+TEST(RxRingDeath, OutOfRangePanics)
+{
+    RxRing ring(4);
+    EXPECT_DEATH(ring.desc(4), "range");
+}
+
+TEST(RxRingDeath, EmptyRingFatal)
+{
+    EXPECT_EXIT(RxRing(0), ::testing::ExitedWithCode(1),
+                "descriptor");
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parameterized tests for the maximal-length LFSRs used by the
+ * covert-channel capacity methodology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/lfsr.hh"
+
+using namespace pktchase;
+
+class LfsrWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LfsrWidth, PeriodIsMaximal)
+{
+    const unsigned width = GetParam();
+    Lfsr lfsr(width, 1);
+    const std::uint32_t start = lfsr.state();
+    std::uint64_t steps = 0;
+    do {
+        lfsr.nextBit();
+        ++steps;
+        ASSERT_LE(steps, lfsr.period() + 1);
+    } while (lfsr.state() != start);
+    EXPECT_EQ(steps, lfsr.period());
+}
+
+TEST_P(LfsrWidth, VisitsEveryNonzeroState)
+{
+    const unsigned width = GetParam();
+    if (width > 12)
+        GTEST_SKIP() << "state enumeration capped for test speed";
+    Lfsr lfsr(width, 1);
+    std::set<std::uint32_t> states;
+    for (std::uint64_t i = 0; i < lfsr.period(); ++i) {
+        states.insert(lfsr.state());
+        lfsr.nextBit();
+    }
+    EXPECT_EQ(states.size(), lfsr.period());
+    EXPECT_EQ(states.count(0), 0u);
+}
+
+TEST_P(LfsrWidth, BitsAreNearlyBalanced)
+{
+    const unsigned width = GetParam();
+    Lfsr lfsr(width, 1);
+    std::uint64_t ones = 0;
+    for (std::uint64_t i = 0; i < lfsr.period(); ++i)
+        ones += lfsr.nextBit();
+    // A maximal-length sequence has exactly one extra 1.
+    EXPECT_EQ(ones, (lfsr.period() + 1) / 2);
+}
+
+TEST_P(LfsrWidth, StateNeverZero)
+{
+    const unsigned width = GetParam();
+    Lfsr lfsr(width, 0xFFFFFFFFu);
+    for (int i = 0; i < 10000; ++i) {
+        lfsr.nextBit();
+        ASSERT_NE(lfsr.state(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, LfsrWidth,
+                         ::testing::ValuesIn(Lfsr::supportedWidths()));
+
+TEST(Lfsr, PaperUses15BitRegister)
+{
+    Lfsr lfsr(15, 1);
+    EXPECT_EQ(lfsr.period(), (1u << 15) - 1);
+}
+
+TEST(Lfsr, BitsHelperMatchesStepping)
+{
+    Lfsr a(15, 77), b(15, 77);
+    const auto bits = a.bits(100);
+    for (unsigned bit : bits)
+        EXPECT_EQ(bit, b.nextBit());
+}
+
+TEST(Lfsr, SeedMaskedToWidth)
+{
+    Lfsr lfsr(8, 0x1FFu); // bit 8 masked away -> state 0xFF
+    EXPECT_EQ(lfsr.state(), 0xFFu);
+}
+
+TEST(LfsrDeath, ZeroSeedFatal)
+{
+    EXPECT_EXIT(Lfsr(15, 0), ::testing::ExitedWithCode(1), "nonzero");
+}
+
+TEST(LfsrDeath, UnsupportedWidthFatal)
+{
+    EXPECT_EXIT(Lfsr(2, 1), ::testing::ExitedWithCode(1), "width");
+}

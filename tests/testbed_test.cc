@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the assembled testbed helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testbed/testbed.hh"
+
+using namespace pktchase;
+using namespace pktchase::testbed;
+
+TEST(Testbed, DefaultMatchesPaperMachine)
+{
+    Testbed tb(TestbedConfig{});
+    EXPECT_EQ(tb.config().llc.geom.capacityBytes(), Addr(20) << 20);
+    EXPECT_EQ(tb.driver().ring().size(), 256u);
+    EXPECT_TRUE(tb.hier().ddioEnabled());
+}
+
+TEST(Testbed, ComboGsetsAreDistinctPageAligned)
+{
+    Testbed tb(TestbedConfig::reduced());
+    const auto gsets = tb.comboGsets();
+    EXPECT_EQ(gsets.size(), tb.config().llc.geom.pageAlignedCombos());
+    std::set<std::size_t> uniq(gsets.begin(), gsets.end());
+    EXPECT_EQ(uniq.size(), gsets.size());
+    for (std::size_t g : gsets) {
+        const unsigned per_slice = static_cast<unsigned>(
+            g % tb.config().llc.geom.setsPerSlice);
+        EXPECT_TRUE(tb.config().llc.geom.isPageAlignedSet(per_slice));
+    }
+}
+
+TEST(Testbed, ComboOfInvertsComboGsets)
+{
+    Testbed tb(TestbedConfig::reduced());
+    const auto gsets = tb.comboGsets();
+    // Every pool page's combo rank maps back to its global set.
+    for (std::size_t c = 0; c < tb.groups().groups.size(); ++c) {
+        for (Addr p : tb.groups().groups[c]) {
+            EXPECT_EQ(tb.hier().llc().globalSet(p), gsets[c]);
+            EXPECT_EQ(tb.comboOf(p), c);
+        }
+    }
+}
+
+TEST(Testbed, RingComboSequenceCoversRing)
+{
+    Testbed tb(TestbedConfig::reduced());
+    const auto seq = tb.ringComboSequence();
+    EXPECT_EQ(seq.size(), tb.driver().ring().size());
+    for (std::size_t c : seq)
+        EXPECT_LT(c, tb.config().llc.geom.pageAlignedCombos());
+}
+
+TEST(Testbed, ActiveAndSingleConsistent)
+{
+    Testbed tb(TestbedConfig{});
+    const auto active = tb.activeCombos();
+    const auto single = tb.singleBufferCombos();
+    EXPECT_LE(single.size(), active.size());
+    // Every single-mapped combo is active.
+    const std::set<std::size_t> act(active.begin(), active.end());
+    for (std::size_t c : single)
+        EXPECT_TRUE(act.count(c));
+    // Counts reconcile with the ring.
+    std::vector<unsigned> counts(
+        tb.config().llc.geom.pageAlignedCombos(), 0);
+    for (std::size_t c : tb.ringComboSequence())
+        ++counts[c];
+    for (std::size_t c : single)
+        EXPECT_EQ(counts[c], 1u);
+}
+
+TEST(Testbed, RoughlyATthirdOfCombosEmpty)
+{
+    // Fig. 6: ~35% of page-aligned sets host no ring buffer for a
+    // 256-buffer ring over 256 combos.
+    Testbed tb(TestbedConfig{});
+    const double frac =
+        1.0 - static_cast<double>(tb.activeCombos().size()) / 256.0;
+    EXPECT_GT(frac, 0.25);
+    EXPECT_LT(frac, 0.48);
+}
+
+TEST(Testbed, GroupsLazyAndCached)
+{
+    Testbed tb(TestbedConfig::reduced());
+    const auto &g1 = tb.groups();
+    const auto &g2 = tb.groups();
+    EXPECT_EQ(&g1, &g2);
+}
+
+TEST(Testbed, ReducedConfigIsConsistent)
+{
+    const TestbedConfig cfg = TestbedConfig::reduced();
+    Testbed tb(cfg);
+    EXPECT_EQ(tb.groups().groups.size(),
+              cfg.llc.geom.pageAlignedCombos());
+    // Pool large enough for every combo to reach associativity.
+    for (const auto &g : tb.groups().groups)
+        EXPECT_GE(g.size(), cfg.llc.geom.ways);
+}

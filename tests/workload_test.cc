@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the defense-evaluation workloads: the server model, the
+ * I/O workloads, and the cross-mode trends Figs. 14-16 rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/cpu_config.hh"
+#include "workload/defense_eval.hh"
+
+using namespace pktchase;
+using namespace pktchase::workload;
+
+namespace
+{
+
+ServerConfig
+lightServer()
+{
+    ServerConfig cfg;
+    cfg.hotPages = 512;
+    cfg.readsPerRequest = 50;
+    cfg.writesPerRequest = 10;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BaselineCpu, TableIIValues)
+{
+    const BaselineCpuConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.frequencyGHz, 3.3);
+    EXPECT_EQ(cfg.robEntries, 168u);
+    EXPECT_EQ(cfg.lqEntries, 64u);
+    EXPECT_EQ(cfg.sqEntries, 36u);
+    EXPECT_EQ(cfg.intAlus, 6u);
+}
+
+TEST(Server, ServeOneTakesTime)
+{
+    testbed::Testbed tb(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload server(tb, lightServer());
+    const Cycles t = server.serveOne(0);
+    EXPECT_GT(t, lightServer().baseCyclesPerRequest);
+}
+
+TEST(Server, ClosedLoopReportsThroughput)
+{
+    testbed::Testbed tb(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload server(tb, lightServer());
+    const ServerMetrics m = server.closedLoop(300);
+    EXPECT_EQ(m.requests, 300u);
+    EXPECT_GT(m.kiloRequestsPerSec, 1.0);
+    EXPECT_GE(m.llcMissRate, 0.0);
+    EXPECT_LE(m.llcMissRate, 1.0);
+}
+
+TEST(Server, OpenLoopLatenciesGrowWithLoad)
+{
+    testbed::Testbed tb1(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload s1(tb1, lightServer());
+    const ServerMetrics peak = s1.closedLoop(400);
+    const double peak_rate = peak.kiloRequestsPerSec * 1000.0;
+
+    testbed::Testbed tb2(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload s2(tb2, lightServer());
+    const LatencyResult light = s2.openLoop(peak_rate * 0.3, 2000);
+
+    testbed::Testbed tb3(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload s3(tb3, lightServer());
+    const LatencyResult heavy = s3.openLoop(peak_rate * 0.95, 2000);
+
+    EXPECT_GT(heavy.percentile(99), light.percentile(99));
+}
+
+TEST(Server, LatencyPercentilesMonotone)
+{
+    testbed::Testbed tb(
+        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+    ServerWorkload server(tb, lightServer());
+    const LatencyResult r = server.openLoop(50000, 1500);
+    ASSERT_FALSE(r.latenciesMs.empty());
+    EXPECT_LE(r.percentile(50), r.percentile(90));
+    EXPECT_LE(r.percentile(90), r.percentile(99));
+    EXPECT_LE(r.percentile(99), r.percentile(99.9));
+}
+
+TEST(DefenseTrends, DdioReducesMemoryTraffic)
+{
+    // Fig. 15's headline: DDIO cuts both read and write DRAM traffic
+    // for the receive-heavy workload.
+    const IoMetrics no_ddio = tcpRecvMetrics(CacheMode::NoDdio, 3000);
+    const IoMetrics ddio = tcpRecvMetrics(CacheMode::Ddio, 3000);
+    EXPECT_LT(ddio.memWriteBlocks, no_ddio.memWriteBlocks);
+    EXPECT_LT(ddio.memReadBlocks, no_ddio.memReadBlocks);
+    EXPECT_LT(ddio.llcMissRate, no_ddio.llcMissRate);
+}
+
+TEST(DefenseTrends, AdaptiveTrafficNearDdio)
+{
+    // Sec. VII: "memory traffic of the adaptive partitioning scheme is
+    // within 2% of DDIO" -- allow a modest band in the model.
+    const IoMetrics ddio = tcpRecvMetrics(CacheMode::Ddio, 3000);
+    const IoMetrics adapt =
+        tcpRecvMetrics(CacheMode::AdaptivePartition, 3000);
+    EXPECT_LT(static_cast<double>(adapt.memReadBlocks),
+              static_cast<double>(ddio.memReadBlocks) * 1.2 + 100.0);
+    EXPECT_LT(adapt.llcMissRate, ddio.llcMissRate + 0.1);
+}
+
+TEST(DefenseTrends, FileCopyTrafficShape)
+{
+    const IoMetrics no_ddio =
+        fileCopyMetrics(CacheMode::NoDdio, Addr(4) << 20);
+    const IoMetrics ddio =
+        fileCopyMetrics(CacheMode::Ddio, Addr(4) << 20);
+    EXPECT_LT(ddio.memReadBlocks, no_ddio.memReadBlocks);
+}
+
+TEST(DefenseTrends, AdaptiveThroughputWithinBudget)
+{
+    // Fig. 14: the defense costs at most a few percent of Nginx
+    // throughput.
+    ServerConfig scfg = lightServer();
+    const auto base = nginxThroughput(
+        CacheMode::Ddio, cache::Geometry::xeonE52660(), 1500, scfg);
+    const auto def = nginxThroughput(
+        CacheMode::AdaptivePartition, cache::Geometry::xeonE52660(),
+        1500, scfg);
+    EXPECT_GT(def.kiloRequestsPerSec,
+              base.kiloRequestsPerSec * 0.95);
+}
+
+TEST(DefenseTrends, AdaptiveNeverLeaksAcrossWorkloads)
+{
+    // The invariant behind the security claim, checked on a real
+    // workload rather than synthetic traffic.
+    testbed::Testbed tb(makeDefenseConfig(
+        CacheMode::AdaptivePartition, cache::Geometry::xeonE52660()));
+    ServerWorkload server(tb, lightServer());
+    server.closedLoop(500);
+    EXPECT_EQ(tb.hier().llc().stats().cpuEvictedByIo, 0u);
+}
+
+TEST(DefenseTrends, FullRandomizationCostsLatency)
+{
+    ServerConfig scfg = lightServer();
+    const LatencyResult base = nginxLatency(
+        CacheMode::Ddio, nic::RingDefense::None, 0, 60000, 3000, scfg);
+    const LatencyResult rnd = nginxLatency(
+        CacheMode::Ddio, nic::RingDefense::FullRandom, 0, 60000, 3000,
+        scfg);
+    EXPECT_GT(rnd.percentile(99), base.percentile(99));
+}
+
+TEST(DefenseTrends, PartialRandomizationCheaperThanFull)
+{
+    ServerConfig scfg = lightServer();
+    const LatencyResult full = nginxLatency(
+        CacheMode::Ddio, nic::RingDefense::FullRandom, 0, 60000, 3000,
+        scfg);
+    const LatencyResult partial = nginxLatency(
+        CacheMode::Ddio, nic::RingDefense::PartialPeriodic, 10000,
+        60000, 3000, scfg);
+    EXPECT_LT(partial.percentile(99), full.percentile(99));
+}
+
+TEST(CacheModeName, Strings)
+{
+    EXPECT_STREQ(cacheModeName(CacheMode::NoDdio), "no-ddio");
+    EXPECT_STREQ(cacheModeName(CacheMode::Ddio), "ddio");
+    EXPECT_STREQ(cacheModeName(CacheMode::AdaptivePartition),
+                 "adaptive-partitioning");
+}
