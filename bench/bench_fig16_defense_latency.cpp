@@ -8,11 +8,17 @@
  * randomization at 10k-packet intervals is near the baseline. The
  * attack needs ~65k packets to deconstruct the ring, so 10k-interval
  * reshuffling still breaks it.
+ *
+ * Runs as a parallel campaign: the five defense configurations execute
+ * concurrently (>= 4 worker threads by default; PKTCHASE_THREADS
+ * overrides) and every configuration sees the same arrival process, so
+ * the percentile columns are a paired comparison.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "runtime/sweep.hh"
 #include "workload/defense_eval.hh"
 
 using namespace pktchase;
@@ -25,44 +31,33 @@ main()
                   "Response latency percentiles per defense (paper: "
                   "adaptive +3.1% at p99, full randomization +41.8%)");
 
-    struct Config
-    {
-        const char *name;
-        CacheMode mode;
-        nic::RingDefense defense;
-        std::uint64_t interval;
-    };
-    const Config configs[] = {
-        {"vulnerable baseline", CacheMode::Ddio,
-         nic::RingDefense::None, 0},
-        {"fully randomized ring", CacheMode::Ddio,
-         nic::RingDefense::FullRandom, 0},
-        {"partial random (1k)", CacheMode::Ddio,
-         nic::RingDefense::PartialPeriodic, 1000},
-        {"partial random (10k)", CacheMode::Ddio,
-         nic::RingDefense::PartialPeriodic, 10000},
-        {"adaptive partitioning", CacheMode::AdaptivePartition,
-         nic::RingDefense::None, 0},
-    };
-
     const double rate = 100000.0;
     const std::size_t requests = 20000;
+    const auto results =
+        runtime::sweep(fig16LatencyGrid(rate, requests));
+
+    // Rows are looked up by cell name so a reordered grid cannot
+    // silently mislabel a defense.
+    const struct { const char *label, *cell; } rows[] = {
+        {"vulnerable baseline", "fig16/baseline"},
+        {"fully randomized ring", "fig16/full-random"},
+        {"partial random (1k)", "fig16/partial-1k"},
+        {"partial random (10k)", "fig16/partial-10k"},
+        {"adaptive partitioning", "fig16/adaptive"},
+    };
 
     std::printf("  %-24s %8s %8s %8s %8s %8s  (ms)\n", "defense",
                 "p50", "p90", "p99", "p99.9", "p99.99");
     bench::rule(76);
-    double base_p99 = 0.0;
-    for (const Config &c : configs) {
-        const LatencyResult r = nginxLatency(c.mode, c.defense,
-                                             c.interval, rate,
-                                             requests);
-        const double p99 = r.percentile(99);
-        if (base_p99 == 0.0)
-            base_p99 = p99;
+    const double base_p99 =
+        bench::byName(results, "fig16/baseline").value("p99");
+    for (const auto &row : rows) {
+        const auto &r = bench::byName(results, row.cell);
+        const double p99 = r.value("p99");
         std::printf("  %-24s %8.3f %8.3f %8.3f %8.3f %8.3f  "
                     "(p99 %+5.1f%%)\n",
-                    c.name, r.percentile(50), r.percentile(90), p99,
-                    r.percentile(99.9), r.percentile(99.99),
+                    row.label, r.value("p50"), r.value("p90"), p99,
+                    r.value("p99_9"), r.value("p99_99"),
                     100.0 * (p99 / base_p99 - 1.0));
     }
     bench::rule(76);

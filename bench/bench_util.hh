@@ -10,9 +10,28 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
+
+#include "runtime/scenario.hh"
+#include "sim/logging.hh"
 
 namespace pktchase::bench
 {
+
+/**
+ * Find a campaign cell result by name; fatal() when absent so a
+ * renamed or reordered grid fails loudly instead of silently
+ * mislabeling table rows.
+ */
+inline const runtime::ScenarioResult &
+byName(const std::vector<runtime::ScenarioResult> &results,
+       const std::string &name)
+{
+    for (const runtime::ScenarioResult &r : results)
+        if (r.name == name)
+            return r;
+    fatal("no campaign result named '" + name + "'");
+}
 
 /** Print the standard bench banner. */
 inline void

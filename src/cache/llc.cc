@@ -150,7 +150,7 @@ Llc::cpuFill(std::size_t gset, Addr block, bool dirty)
             cfg_.geom.ways - part_[gset].ioLines;
         const WayMask cpu_mask = kindMask(gset, false);
         const auto cpu_count =
-            static_cast<unsigned>(std::popcount(cpu_mask));
+            static_cast<unsigned>(popcount64(cpu_mask));
         if (cpu_count >= cpu_quota) {
             // Partition full: displace another CPU line, never I/O.
             way = static_cast<int>(repl_->victim(gset, cpu_mask));
@@ -190,7 +190,7 @@ Llc::ioFill(std::size_t gset, Addr block)
     const unsigned cap = cfg_.adaptivePartition
         ? part_[gset].ioLines : cfg_.ddioWays;
     const WayMask io_mask = kindMask(gset, true);
-    const auto io_count = static_cast<unsigned>(std::popcount(io_mask));
+    const auto io_count = static_cast<unsigned>(popcount64(io_mask));
 
     int way = -1;
     if (io_count >= cap) {

@@ -1,8 +1,8 @@
 #include "replacement.hh"
 
-#include <bit>
 
 #include "sim/logging.hh"
+#include "sim/types.hh"
 
 namespace pktchase::cache
 {
@@ -48,8 +48,8 @@ LruPolicy::reset(std::size_t set, unsigned way)
 // ---------------------------------------------------------- Tree-PLRU --
 
 TreePlruPolicy::TreePlruPolicy(std::size_t sets, unsigned ways)
-    : ways_(ways), treeWays_(std::bit_ceil(ways)),
-      bits_(sets * (std::bit_ceil(ways) - 1), 0)
+    : ways_(ways), treeWays_(static_cast<unsigned>(bitCeil64(ways))),
+      bits_(sets * (static_cast<unsigned>(bitCeil64(ways)) - 1), 0)
 {
 }
 
@@ -131,7 +131,7 @@ RandomPolicy::victim(std::size_t, WayMask mask)
 {
     if (mask == 0)
         panic("RandomPolicy::victim with empty candidate mask");
-    const unsigned count = static_cast<unsigned>(std::popcount(mask));
+    const unsigned count = static_cast<unsigned>(popcount64(mask));
     unsigned pick = static_cast<unsigned>(rng_.nextBounded(count));
     for (unsigned w = 0; ; ++w) {
         if (mask & (WayMask(1) << w)) {

@@ -1,6 +1,5 @@
 #include "slice_hash.hh"
 
-#include <bit>
 
 #include "sim/logging.hh"
 
@@ -20,7 +19,7 @@ XorFoldSliceHash::slice(Addr paddr) const
     unsigned out = 0;
     for (std::size_t i = 0; i < masks_.size(); ++i) {
         const unsigned bit =
-            static_cast<unsigned>(std::popcount(paddr & masks_[i])) & 1u;
+            static_cast<unsigned>(popcount64(paddr & masks_[i])) & 1u;
         out |= bit << i;
     }
     return out;

@@ -15,7 +15,13 @@ RxRing::RxRing(std::size_t size)
 void
 RxRing::advance()
 {
-    head_ = (head_ + 1) % descs_.size();
+    // The head is an index, never a count: it must already be inside
+    // the ring before the step, and it wraps to slot 0 exactly at
+    // size() so fill order stays stable across the ring's lifetime.
+    if (head_ >= descs_.size())
+        panic("RxRing::advance head out of range");
+    if (++head_ == descs_.size())
+        head_ = 0;
 }
 
 RxDescriptor &

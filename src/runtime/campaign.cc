@@ -1,0 +1,132 @@
+#include "campaign.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "runtime/spsc_ring.hh"
+#include "sim/logging.hh"
+
+namespace pktchase::runtime
+{
+
+unsigned
+defaultThreads()
+{
+    if (const char *env = std::getenv("PKTCHASE_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+        warn("ignoring invalid PKTCHASE_THREADS value");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 4 ? hw : 4;
+}
+
+Campaign::Campaign(const CampaignConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+std::vector<ScenarioResult>
+Campaign::run(const std::vector<Scenario> &grid)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    unsigned threads = cfg_.threads ? cfg_.threads : defaultThreads();
+    if (threads > grid.size() && !grid.empty())
+        threads = static_cast<unsigned>(grid.size());
+
+    stats_ = CampaignStats{};
+    stats_.threadsUsed = threads ? threads : 1;
+
+    std::vector<ScenarioResult> results(grid.size());
+
+    auto runCell = [&](std::size_t index) {
+        ScenarioContext ctx(index, cfg_.seed);
+        ScenarioResult r = grid[index].run(ctx);
+        r.index = index;
+        if (r.name.empty())
+            r.name = grid[index].name;
+        return r;
+    };
+
+    if (threads <= 1) {
+        // Serial reference path: same per-cell seeding, trivial merge.
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            results[i] = runCell(i);
+            if (cfg_.onResult)
+                cfg_.onResult(results[i]);
+        }
+        stats_.scenariosRun = grid.size();
+        stats_.wallSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0).count();
+        return results;
+    }
+
+    // One SPSC result ring per worker: the worker is the only
+    // producer, this (driver) thread the only consumer.
+    std::vector<std::unique_ptr<SpscRing<ScenarioResult>>> rings;
+    rings.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w)
+        rings.push_back(std::make_unique<SpscRing<ScenarioResult>>(
+            cfg_.ringCapacity));
+
+    // Per-worker stats shards, published by the join below.
+    std::vector<std::uint64_t> fullRetries(threads, 0);
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            // Static index sharding: worker w owns cells w, w+N, ...
+            for (std::size_t i = w; i < grid.size(); i += threads) {
+                ScenarioResult r = runCell(i);
+                while (!rings[w]->tryPush(std::move(r))) {
+                    // Ring full: the driver is behind. Back off; the
+                    // result stays intact because a failed tryPush
+                    // never moves from its argument.
+                    ++fullRetries[w];
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+
+    // Drain rings until every cell has reported.
+    std::size_t collected = 0;
+    while (collected < grid.size()) {
+        bool progress = false;
+        for (unsigned w = 0; w < threads; ++w) {
+            ScenarioResult r;
+            while (rings[w]->tryPop(r)) {
+                if (r.index >= results.size())
+                    panic("Campaign: result index out of range");
+                if (cfg_.onResult)
+                    cfg_.onResult(r);
+                results[r.index] = std::move(r);
+                ++collected;
+                progress = true;
+            }
+        }
+        if (!progress) {
+            // Scenarios run for milliseconds to seconds; don't burn a
+            // core busy-polling empty rings while the workers (which
+            // may already cover every hardware thread) compute.
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+
+    for (std::thread &t : workers)
+        t.join();
+
+    stats_.scenariosRun = grid.size();
+    for (std::uint64_t retries : fullRetries)
+        stats_.ringFullRetries += retries;
+    stats_.wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    return results;
+}
+
+} // namespace pktchase::runtime

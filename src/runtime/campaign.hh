@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Campaign executor: shard a scenario grid across worker threads,
+ * hand results back over lock-free SPSC rings, merge deterministically.
+ *
+ * Sharding is static and index-based (worker w runs cells w, w+N,
+ * w+2N, ...), each worker pushes finished ScenarioResults into its own
+ * SpscRing, and the driver thread polls the rings and places each
+ * result at its grid index. Because every cell's randomness derives
+ * only from (campaign seed, grid index) and the merge is by index, a
+ * run with N threads is bit-identical to threads=1 -- the property the
+ * determinism test asserts byte-for-byte on the formatted report.
+ */
+
+#ifndef PKTCHASE_RUNTIME_CAMPAIGN_HH
+#define PKTCHASE_RUNTIME_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/scenario.hh"
+
+namespace pktchase::runtime
+{
+
+/** Campaign execution knobs. */
+struct CampaignConfig
+{
+    /** Worker threads; 0 picks defaultThreads(). */
+    unsigned threads = 0;
+
+    /** Campaign seed every scenario stream is split from. */
+    std::uint64_t seed = 1;
+
+    /** Per-worker result-ring capacity (rounded up to a power of 2). */
+    std::size_t ringCapacity = 64;
+
+    /**
+     * Called on the driver thread as each result is collected, in
+     * completion order (NOT grid order -- completion order depends on
+     * thread scheduling; only the merged results are deterministic).
+     */
+    std::function<void(const ScenarioResult &)> onResult;
+};
+
+/** Execution counters, aggregated from the per-worker shards. */
+struct CampaignStats
+{
+    std::size_t scenariosRun = 0;
+    unsigned threadsUsed = 0;
+    /** Producer-side full-ring retries (backpressure indicator). */
+    std::uint64_t ringFullRetries = 0;
+    /** Wall-clock seconds for the whole grid (not deterministic). */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Runs scenario grids. Reusable: each run() is independent.
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(const CampaignConfig &cfg = CampaignConfig{});
+
+    /**
+     * Run every cell of @p grid and return the merged results, index
+     * for index with @p grid (results[i] came from grid[i]).
+     */
+    std::vector<ScenarioResult> run(const std::vector<Scenario> &grid);
+
+    /** Counters of the most recent run(). */
+    const CampaignStats &stats() const { return stats_; }
+
+    const CampaignConfig &config() const { return cfg_; }
+
+  private:
+    CampaignConfig cfg_;
+    CampaignStats stats_;
+};
+
+/**
+ * Worker-thread count used when CampaignConfig::threads == 0: the
+ * PKTCHASE_THREADS environment variable when set, otherwise
+ * max(4, hardware concurrency) -- the Fig. 14 sweep is specified to
+ * run across at least four workers.
+ */
+unsigned defaultThreads();
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_CAMPAIGN_HH

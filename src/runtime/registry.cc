@@ -1,0 +1,76 @@
+#include "registry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace pktchase::runtime
+{
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(const std::string &name,
+                      const std::string &description,
+                      ScenarioFactory factory)
+{
+    for (Entry &e : entries_) {
+        if (e.name == name) {
+            e.description = description;
+            e.factory = std::move(factory);
+            return;
+        }
+    }
+    entries_.push_back({name, description, std::move(factory)});
+}
+
+const ScenarioRegistry::Entry *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+std::vector<Scenario>
+ScenarioRegistry::make(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        fatal("no scenario grid registered under '" + name + "'");
+    return e->factory();
+}
+
+bool
+ScenarioRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+std::string
+ScenarioRegistry::description(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        fatal("no scenario grid registered under '" + name + "'");
+    return e->description;
+}
+
+std::vector<std::string>
+ScenarioRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace pktchase::runtime

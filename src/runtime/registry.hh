@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Named scenario-grid registry.
+ *
+ * A grid factory maps a name ("fig14", "fig16", ...) to the vector of
+ * Scenarios that make up that experiment's cells, so adding a new
+ * scenario axis to the campaign front-end is one registry entry.
+ * Factories are registered explicitly (e.g. by
+ * workload::registerDefenseScenarios()) rather than via static
+ * initializers, which a static-archive link would silently drop.
+ */
+
+#ifndef PKTCHASE_RUNTIME_REGISTRY_HH
+#define PKTCHASE_RUNTIME_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.hh"
+
+namespace pktchase::runtime
+{
+
+/** Builds the scenario cells of one named experiment grid. */
+using ScenarioFactory = std::function<std::vector<Scenario>()>;
+
+/**
+ * Process-wide registry of named scenario grids.
+ */
+class ScenarioRegistry
+{
+  public:
+    /** The process-wide instance. */
+    static ScenarioRegistry &instance();
+
+    /**
+     * Register @p factory under @p name. Re-registering a name
+     * replaces the previous entry (handy in tests).
+     */
+    void add(const std::string &name, const std::string &description,
+             ScenarioFactory factory);
+
+    /** Instantiate the grid registered under @p name; fatal if unknown. */
+    std::vector<Scenario> make(const std::string &name) const;
+
+    /** Whether @p name is registered. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * One-line description of @p name; fatal if unknown. Returned by
+     * value: entries live in a vector, so references into it would
+     * dangle across a later add().
+     */
+    std::string description(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        ScenarioFactory factory;
+    };
+
+    const Entry *find(const std::string &name) const;
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_REGISTRY_HH

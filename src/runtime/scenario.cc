@@ -1,0 +1,62 @@
+#include "scenario.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace pktchase::runtime
+{
+
+std::uint64_t
+splitSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    // The (salt+1)-th output of a splitmix64 stream seeded with
+    // `seed`: advance the Weyl sequence salt+1 steps in O(1), then
+    // apply the splitmix64 finalizer. Matches Rng's seed expansion,
+    // so scenario streams are as independent as Rng::split() streams.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+double
+ScenarioResult::value(const std::string &key) const
+{
+    for (const auto &kv : metrics)
+        if (kv.first == key)
+            return kv.second;
+    fatal("ScenarioResult '" + name + "' has no metric '" + key + "'");
+}
+
+bool
+ScenarioResult::has(const std::string &key) const
+{
+    for (const auto &kv : metrics)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+std::string
+formatReport(const std::vector<ScenarioResult> &results)
+{
+    std::string out;
+    char buf[64];
+    for (const ScenarioResult &r : results) {
+        std::snprintf(buf, sizeof(buf), "[%zu] ", r.index);
+        out += buf;
+        out += r.name;
+        for (const auto &kv : r.metrics) {
+            // Hexfloat round-trips every bit of the double, so the
+            // report differs iff some merged metric differs.
+            std::snprintf(buf, sizeof(buf), " %s=%a", kv.first.c_str(),
+                          kv.second);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pktchase::runtime

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Scenario abstraction: one independently runnable experiment cell.
+ *
+ * The paper's evaluation is a grid of (ring size x cache mode x ring
+ * defense x workload x seed) cells, each of which assembles its own
+ * Testbed and reports a handful of scalar metrics. A Scenario names one
+ * such cell and owns everything it needs to run in isolation: the run
+ * function builds a private Testbed, draws randomness only from the
+ * ScenarioContext's Rng stream (split off the campaign seed with
+ * splitmix64), and returns its metrics as a private stats shard
+ * (ScenarioResult) -- no shared mutable state, which is what lets a
+ * Campaign run cells on any number of threads with bit-identical
+ * merged output.
+ */
+
+#ifndef PKTCHASE_RUNTIME_SCENARIO_HH
+#define PKTCHASE_RUNTIME_SCENARIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace pktchase::runtime
+{
+
+/**
+ * Derive an independent 64-bit seed from @p seed and @p salt via the
+ * splitmix64 output function. Used both for per-scenario streams
+ * (salt = grid index) and for axis-pinned streams a grid builder wants
+ * to share across cells that must see the same workload randomness
+ * (e.g. Fig. 14 compares DDIO vs. adaptive under identical load).
+ */
+std::uint64_t splitSeed(std::uint64_t seed, std::uint64_t salt);
+
+/**
+ * Tag @p salt as an axis salt. Scenario indices occupy the low salt
+ * space (ScenarioContext uses salt = grid index), so grid builders
+ * that pin a stream to an axis must keep their salts disjoint from
+ * every possible index -- this sets the top bit, which no realistic
+ * grid size reaches.
+ */
+constexpr std::uint64_t
+axisSalt(std::uint64_t salt)
+{
+    return salt | (std::uint64_t(1) << 63);
+}
+
+/**
+ * One scenario's private stats shard: named scalar metrics in
+ * insertion order, tagged with the cell's grid index and name.
+ */
+struct ScenarioResult
+{
+    std::size_t index = 0;     ///< Position in the campaign grid.
+    std::string name;          ///< Cell name, e.g. "fig14/llc20/ddio".
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Append one named metric. */
+    void
+    set(const std::string &key, double value)
+    {
+        metrics.emplace_back(key, value);
+    }
+
+    /** Look up a metric by name; fatal() when absent. */
+    double value(const std::string &key) const;
+
+    /** Whether a metric named @p key exists. */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Per-run context handed to a scenario's run function. The Rng is the
+ * cell's private stream: its seed depends only on the campaign seed
+ * and the cell's grid index, never on which worker runs the cell.
+ */
+struct ScenarioContext
+{
+    std::size_t index = 0;          ///< Grid index of this cell.
+    std::uint64_t campaignSeed = 0; ///< The whole campaign's seed.
+    std::uint64_t scenarioSeed = 0; ///< splitSeed(campaignSeed, index).
+    Rng rng;                        ///< Seeded with scenarioSeed.
+
+    ScenarioContext(std::size_t idx, std::uint64_t campaign_seed)
+        : index(idx), campaignSeed(campaign_seed),
+          scenarioSeed(splitSeed(campaign_seed, idx)),
+          rng(scenarioSeed)
+    {
+    }
+};
+
+/** A named, independently runnable experiment cell. */
+struct Scenario
+{
+    std::string name;
+    std::function<ScenarioResult(ScenarioContext &)> run;
+};
+
+/**
+ * Canonical byte-exact serialization of a result set (hexfloat
+ * metrics, index order). Two runs merged identically produce the same
+ * string; the determinism tests and `campaign` example diff this.
+ */
+std::string formatReport(const std::vector<ScenarioResult> &results);
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_SCENARIO_HH

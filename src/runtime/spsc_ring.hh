@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fixed-size lock-free single-producer/single-consumer result ring.
+ *
+ * Each campaign worker owns one SpscRing and is its only producer; the
+ * campaign driver is the only consumer. Head and tail live on separate
+ * cache lines (the classic concurrent-ringbuffer layout) so the
+ * producer's stores never invalidate the consumer's line and vice
+ * versa, and each side keeps a cached copy of the opposite cursor so
+ * the common case touches no shared line at all. All cross-thread
+ * ordering is acquire/release: the producer's tail store releases the
+ * slot write, the consumer's tail load acquires it.
+ */
+
+#ifndef PKTCHASE_RUNTIME_SPSC_RING_HH
+#define PKTCHASE_RUNTIME_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace pktchase::runtime
+{
+
+/** Cache-line size used for padding (matches blockBytes everywhere). */
+constexpr std::size_t cacheLineBytes = 64;
+
+/**
+ * Bounded lock-free SPSC queue of movable values.
+ *
+ * Exactly one thread may call tryPush() and exactly one thread may
+ * call tryPop(); under that contract every operation is wait-free.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** Construct with space for @p capacity items (rounded up to 2^k). */
+    explicit SpscRing(std::size_t capacity)
+        : mask_(bitCeil64(capacity < 2 ? 2 : capacity) - 1),
+          slots_(mask_ + 1)
+    {
+        if (capacity == 0)
+            fatal("SpscRing requires a nonzero capacity");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Number of item slots. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Producer side: enqueue @p item. Returns false (item untouched)
+     * when the ring is full.
+     */
+    bool
+    tryPush(T &&item)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - cachedHead_ > mask_) {
+            // Looks full; refresh the consumer cursor and re-check.
+            cachedHead_ = head_.load(std::memory_order_acquire);
+            if (tail - cachedHead_ > mask_)
+                return false;
+        }
+        slots_[tail & mask_] = std::move(item);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: dequeue into @p out. Returns false when the ring
+     * is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == cachedTail_) {
+            // Looks empty; refresh the producer cursor and re-check.
+            cachedTail_ = tail_.load(std::memory_order_acquire);
+            if (head == cachedTail_)
+                return false;
+        }
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side view: true when no items are visible. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+  private:
+    const std::uint64_t mask_;
+    std::vector<T> slots_;
+
+    /** Consumer cursor plus the consumer's cached copy of the tail. */
+    alignas(cacheLineBytes) std::atomic<std::uint64_t> head_{0};
+    std::uint64_t cachedTail_ = 0;
+
+    /** Producer cursor plus the producer's cached copy of the head. */
+    alignas(cacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+    std::uint64_t cachedHead_ = 0;
+
+    /** Keep whatever follows the ring off the producer's line. */
+    [[maybe_unused]] char pad_[cacheLineBytes -
+                               sizeof(std::atomic<std::uint64_t>) -
+                               sizeof(std::uint64_t)];
+};
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_SPSC_RING_HH

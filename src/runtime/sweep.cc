@@ -1,0 +1,37 @@
+#include "sweep.hh"
+
+#include <cstdio>
+
+#include "runtime/registry.hh"
+
+namespace pktchase::runtime
+{
+
+std::vector<ScenarioResult>
+sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
+{
+    CampaignConfig cfg;
+    cfg.threads = opt.threads;
+    cfg.seed = opt.seed;
+
+    Campaign campaign(cfg);
+    std::vector<ScenarioResult> results = campaign.run(grid);
+
+    if (opt.verbose) {
+        const CampaignStats &s = campaign.stats();
+        std::printf("  [campaign: %zu cells on %u threads, seed %llu, "
+                    "%.2f s]\n\n",
+                    s.scenariosRun, s.threadsUsed,
+                    static_cast<unsigned long long>(cfg.seed),
+                    s.wallSeconds);
+    }
+    return results;
+}
+
+std::vector<ScenarioResult>
+sweep(const std::string &name, const SweepOptions &opt)
+{
+    return sweep(ScenarioRegistry::instance().make(name), opt);
+}
+
+} // namespace pktchase::runtime

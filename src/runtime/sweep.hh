@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Campaign front-end for benches and workload sweeps.
+ *
+ * runtime::sweep() is the one call a bench needs: it resolves the
+ * worker-thread count (PKTCHASE_THREADS overrides the default), runs
+ * the grid through a Campaign, optionally narrates progress, and
+ * returns merged results in grid order for the caller to format into
+ * its paper-style table. A name-based overload pulls the grid from the
+ * ScenarioRegistry so front-ends can expose every registered
+ * experiment without knowing how to build any of them.
+ */
+
+#ifndef PKTCHASE_RUNTIME_SWEEP_HH
+#define PKTCHASE_RUNTIME_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hh"
+#include "runtime/scenario.hh"
+
+namespace pktchase::runtime
+{
+
+/** Options for sweep(); the defaults suit the benches. */
+struct SweepOptions
+{
+    unsigned threads = 0;        ///< 0: PKTCHASE_THREADS or max(4, hw).
+    std::uint64_t seed = 1;      ///< Campaign seed.
+    bool verbose = true;         ///< Print the thread/cell/time banner.
+};
+
+/**
+ * Run @p grid across worker threads and return merged results in grid
+ * order. Deterministic in everything except wall-clock timing.
+ */
+std::vector<ScenarioResult> sweep(const std::vector<Scenario> &grid,
+                                  const SweepOptions &opt = SweepOptions{});
+
+/** Run the registry grid named @p name; fatal when unregistered. */
+std::vector<ScenarioResult> sweep(const std::string &name,
+                                  const SweepOptions &opt = SweepOptions{});
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_SWEEP_HH

@@ -1,6 +1,6 @@
 #include "lfsr.hh"
 
-#include <bit>
+#include "types.hh"
 
 #include "logging.hh"
 
@@ -69,7 +69,7 @@ Lfsr::nextBit()
 {
     const unsigned out = state_ & 1u;
     const unsigned feedback =
-        static_cast<unsigned>(std::popcount(state_ & taps_)) & 1u;
+        static_cast<unsigned>(popcount64(state_ & taps_)) & 1u;
     state_ >>= 1;
     state_ |= feedback << (width_ - 1);
     return out;

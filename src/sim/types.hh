@@ -35,6 +35,26 @@ constexpr unsigned pageShift = 12;
 /** Number of cache blocks in one page. */
 constexpr Addr blocksPerPage = pageBytes / blockBytes;
 
+/**
+ * Number of set bits in @p x. C++17-portable stand-in for C++20's
+ * std::popcount (gcc/clang builtin; both CI compilers provide it).
+ */
+constexpr unsigned
+popcount64(std::uint64_t x)
+{
+    return static_cast<unsigned>(__builtin_popcountll(x));
+}
+
+/** Smallest power of two >= @p x (C++17 stand-in for std::bit_ceil). */
+constexpr std::uint64_t
+bitCeil64(std::uint64_t x)
+{
+    std::uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
 /** Core clock frequency used to convert wall time to cycles (Table II). */
 constexpr double coreFreqHz = 3.3e9;
 

@@ -1,5 +1,6 @@
 #include "defense_eval.hh"
 
+#include "runtime/registry.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::workload
@@ -83,6 +84,187 @@ nginxLatency(CacheMode mode, nic::RingDefense defense,
         randomize_interval));
     ServerWorkload server(tb, scfg);
     return server.openLoop(rate, requests);
+}
+
+// ----------------------------------------------------- scenario grids --
+
+namespace
+{
+
+/** Short cell-name fragment for a geometry. */
+const char *
+geomLabel(std::size_t geom_index)
+{
+    switch (geom_index) {
+      case 0: return "llc20";
+      case 1: return "llc11";
+      case 2: return "llc8";
+    }
+    return "llc?";
+}
+
+const cache::Geometry &
+geomOf(std::size_t geom_index)
+{
+    static const cache::Geometry geoms[3] = {
+        cache::Geometry::xeonE52660(),
+        cache::Geometry::llc11MB(),
+        cache::Geometry::llc8MB(),
+    };
+    return geoms[geom_index < 3 ? geom_index : 0];
+}
+
+void
+fillServerMetrics(runtime::ScenarioResult &r, const ServerMetrics &m)
+{
+    r.set("kreq_per_sec", m.kiloRequestsPerSec);
+    r.set("llc_miss_rate", m.llcMissRate);
+    r.set("mem_read_blocks", static_cast<double>(m.memReadBlocks));
+    r.set("mem_write_blocks", static_cast<double>(m.memWriteBlocks));
+}
+
+} // namespace
+
+std::vector<runtime::Scenario>
+fig14ThroughputGrid(std::size_t requests)
+{
+    std::vector<runtime::Scenario> grid;
+    for (std::size_t g = 0; g < 3; ++g) {
+        for (CacheMode mode : {CacheMode::Ddio,
+                               CacheMode::AdaptivePartition}) {
+            std::string name = std::string("fig14/") + geomLabel(g) +
+                               "/" + cacheModeName(mode);
+            grid.push_back({name,
+                [g, mode, requests](runtime::ScenarioContext &ctx) {
+                    ServerConfig scfg;
+                    // Cells at the same LLC size share a workload
+                    // stream so DDIO vs. adaptive is a paired
+                    // comparison, as in the paper.
+                    scfg.seed = runtime::splitSeed(ctx.campaignSeed,
+                                                   runtime::axisSalt(g));
+                    runtime::ScenarioResult r;
+                    fillServerMetrics(r, nginxThroughput(
+                        mode, geomOf(g), requests, scfg));
+                    return r;
+                }});
+        }
+    }
+    return grid;
+}
+
+std::vector<runtime::Scenario>
+fig15TrafficGrid(Addr copy_bytes, std::uint64_t packets,
+                 std::size_t requests)
+{
+    std::vector<runtime::Scenario> grid;
+    const CacheMode modes[] = {CacheMode::NoDdio, CacheMode::Ddio,
+                               CacheMode::AdaptivePartition};
+    for (CacheMode mode : modes) {
+        grid.push_back({std::string("fig15/filecopy/") +
+                        cacheModeName(mode),
+            [mode, copy_bytes](runtime::ScenarioContext &) {
+                const IoMetrics m = fileCopyMetrics(mode, copy_bytes);
+                runtime::ScenarioResult r;
+                r.set("mem_read_blocks",
+                      static_cast<double>(m.memReadBlocks));
+                r.set("mem_write_blocks",
+                      static_cast<double>(m.memWriteBlocks));
+                r.set("llc_miss_rate", m.llcMissRate);
+                return r;
+            }});
+    }
+    for (CacheMode mode : modes) {
+        grid.push_back({std::string("fig15/tcprecv/") +
+                        cacheModeName(mode),
+            [mode, packets](runtime::ScenarioContext &) {
+                const IoMetrics m = tcpRecvMetrics(mode, packets);
+                runtime::ScenarioResult r;
+                r.set("mem_read_blocks",
+                      static_cast<double>(m.memReadBlocks));
+                r.set("mem_write_blocks",
+                      static_cast<double>(m.memWriteBlocks));
+                r.set("llc_miss_rate", m.llcMissRate);
+                return r;
+            }});
+    }
+    for (CacheMode mode : modes) {
+        grid.push_back({std::string("fig15/nginx/") +
+                        cacheModeName(mode),
+            [mode, requests](runtime::ScenarioContext &ctx) {
+                ServerConfig scfg;
+                scfg.seed = runtime::splitSeed(
+                    ctx.campaignSeed, runtime::axisSalt(0x15));
+                runtime::ScenarioResult r;
+                fillServerMetrics(r, nginxThroughput(
+                    mode, cache::Geometry::xeonE52660(), requests,
+                    scfg));
+                return r;
+            }});
+    }
+    return grid;
+}
+
+std::vector<runtime::Scenario>
+fig16LatencyGrid(double rate, std::size_t requests)
+{
+    struct Config
+    {
+        const char *name;
+        CacheMode mode;
+        nic::RingDefense defense;
+        std::uint64_t interval;
+    };
+    static const Config configs[] = {
+        {"baseline", CacheMode::Ddio, nic::RingDefense::None, 0},
+        {"full-random", CacheMode::Ddio, nic::RingDefense::FullRandom,
+         0},
+        {"partial-1k", CacheMode::Ddio,
+         nic::RingDefense::PartialPeriodic, 1000},
+        {"partial-10k", CacheMode::Ddio,
+         nic::RingDefense::PartialPeriodic, 10000},
+        {"adaptive", CacheMode::AdaptivePartition,
+         nic::RingDefense::None, 0},
+    };
+
+    std::vector<runtime::Scenario> grid;
+    for (const Config &c : configs) {
+        grid.push_back({std::string("fig16/") + c.name,
+            [c, rate, requests](runtime::ScenarioContext &ctx) {
+                ServerConfig scfg;
+                // Every defense sees the same arrival process.
+                scfg.seed = runtime::splitSeed(
+                    ctx.campaignSeed, runtime::axisSalt(0x16));
+                const LatencyResult lat = nginxLatency(
+                    c.mode, c.defense, c.interval, rate, requests,
+                    scfg);
+                runtime::ScenarioResult r;
+                r.set("p50", lat.percentile(50));
+                r.set("p90", lat.percentile(90));
+                r.set("p99", lat.percentile(99));
+                r.set("p99_9", lat.percentile(99.9));
+                r.set("p99_99", lat.percentile(99.99));
+                fillServerMetrics(r, lat.metrics);
+                return r;
+            }});
+    }
+    return grid;
+}
+
+void
+registerDefenseScenarios()
+{
+    auto &reg = runtime::ScenarioRegistry::instance();
+    reg.add("fig14",
+            "Nginx throughput: DDIO vs. adaptive partitioning across "
+            "LLC sizes",
+            [] { return fig14ThroughputGrid(4000); });
+    reg.add("fig15",
+            "Memory traffic and miss rate of the Sec. VII I/O "
+            "workloads per cache mode",
+            [] { return fig15TrafficGrid(); });
+    reg.add("fig16",
+            "Open-loop response-latency percentiles per ring defense",
+            [] { return fig16LatencyGrid(100000.0, 20000); });
 }
 
 } // namespace pktchase::workload

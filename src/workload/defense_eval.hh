@@ -9,8 +9,10 @@
 #define PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "nic/igb_driver.hh"
+#include "runtime/scenario.hh"
 #include "workload/io_workloads.hh"
 #include "workload/server.hh"
 
@@ -54,6 +56,46 @@ nginxLatency(CacheMode mode, nic::RingDefense defense,
              std::uint64_t randomize_interval, double rate,
              std::size_t requests,
              const ServerConfig &scfg = ServerConfig{});
+
+// ------------------------------------------------------------------
+// Scenario grids for the parallel campaign runtime. Each cell owns a
+// private Testbed; its workload seed is split off the campaign seed so
+// that cells which must be compared under identical load (e.g. DDIO
+// vs. adaptive at the same LLC size in Fig. 14) share a stream while
+// everything else stays independent.
+// ------------------------------------------------------------------
+
+/**
+ * Fig. 14 grid: {20, 11, 8} MB LLC x {DDIO, adaptive partitioning}.
+ * Metrics per cell: kreq_per_sec, llc_miss_rate. Cells at the same
+ * LLC size share a workload seed so the reported loss is noise-free.
+ */
+std::vector<runtime::Scenario> fig14ThroughputGrid(std::size_t requests);
+
+/**
+ * Fig. 15 grid: {file copy, TCP recv, Nginx} x {No-DDIO, DDIO,
+ * adaptive}. Metrics per cell: mem_read_blocks, mem_write_blocks,
+ * llc_miss_rate.
+ */
+std::vector<runtime::Scenario>
+fig15TrafficGrid(Addr copy_bytes = Addr(32) << 20,
+                 std::uint64_t packets = 40000,
+                 std::size_t requests = 2000);
+
+/**
+ * Fig. 16 grid: the five defense configurations under wrk2-style
+ * open-loop load. Metrics per cell: p50/p90/p99/p99_9/p99_99 (ms).
+ * All cells share one workload seed -- the paper compares defenses
+ * under the same arrival process.
+ */
+std::vector<runtime::Scenario> fig16LatencyGrid(double rate,
+                                                std::size_t requests);
+
+/**
+ * Register the defense grids ("fig14", "fig15", "fig16") with the
+ * scenario registry so campaign front-ends can run them by name.
+ */
+void registerDefenseScenarios();
 
 } // namespace pktchase::workload
 

@@ -30,6 +30,32 @@ TEST(RxRing, DescriptorStorage)
     EXPECT_EQ(ring.desc(4).bufferAddr(), 0u);
 }
 
+TEST(RxRing, WrapAtExactlySizeNonPowerOfTwo)
+{
+    // Regression: the wrap must happen exactly at size() for any ring
+    // size, not just powers of two, and keep cycling indefinitely.
+    RxRing ring(5);
+    for (std::size_t step = 1; step <= 3 * 5; ++step) {
+        ring.advance();
+        EXPECT_EQ(ring.head(), step % 5) << "step " << step;
+    }
+}
+
+TEST(RxRing, ResetHeadMidCycleThenWrapAgain)
+{
+    // Regression: driver re-initialization from an arbitrary head
+    // restarts the fill order at slot 0 and wraps correctly after.
+    RxRing ring(4);
+    for (int i = 0; i < 3; ++i)
+        ring.advance();
+    EXPECT_EQ(ring.head(), 3u);
+    ring.resetHead();
+    EXPECT_EQ(ring.head(), 0u);
+    for (int i = 0; i < 4; ++i)
+        ring.advance();
+    EXPECT_EQ(ring.head(), 0u);
+}
+
 TEST(RxRing, ResetHead)
 {
     RxRing ring(4);
