@@ -30,7 +30,7 @@ footprintRecall(std::unique_ptr<cache::SliceHash> hash,
     testbed::TestbedConfig cfg;
     cfg.seed = 5;
     mem::PhysMem phys(cfg.physBytes, Rng(cfg.seed));
-    cache::Hierarchy hier(cfg.llc, cfg.hier, std::move(hash), true);
+    cache::Hierarchy hier(cfg.llc, cfg.hier, std::move(hash));
     nic::IgbDriver driver(cfg.igb, phys, hier);
     mem::AddressSpace space(phys, mem::Owner::Attacker);
     attack::EvictionSetBuilder builder(hier, space, cfg.builder);

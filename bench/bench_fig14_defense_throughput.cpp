@@ -44,11 +44,11 @@ main()
     double loss_sum = 0.0;
     for (const auto &g : geoms) {
         const double ddio = bench::byName(
-            results, std::string("fig14/") + g.slug + "/ddio")
-                .value("kreq_per_sec");
+            results, std::string("fig14/") + g.slug +
+                "/ring.none+cache.ddio").value("kreq_per_sec");
         const double adapt = bench::byName(
             results, std::string("fig14/") + g.slug +
-                "/adaptive-partitioning").value("kreq_per_sec");
+                "/ring.none+cache.adaptive").value("kreq_per_sec");
         const double loss = 100.0 * (1.0 - adapt / ddio);
         loss_sum += loss;
         std::printf("  %-14s %16.1f %16.1f %9.2f%%\n", g.label,

@@ -7,6 +7,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hh"
 #include "workload/defense_eval.hh"
@@ -23,19 +24,19 @@ struct Row
 };
 
 Row
-rowFor(CacheMode mode, const char *workload)
+rowFor(const std::string &cache_spec, const char *workload)
 {
     Row r;
     if (std::string(workload) == "file-copy") {
-        const IoMetrics m = fileCopyMetrics(mode, Addr(32) << 20);
+        const IoMetrics m = fileCopyMetrics(cache_spec, Addr(32) << 20);
         r = {static_cast<double>(m.memReadBlocks),
              static_cast<double>(m.memWriteBlocks), m.llcMissRate};
     } else if (std::string(workload) == "tcp-recv") {
-        const IoMetrics m = tcpRecvMetrics(mode, 20000);
+        const IoMetrics m = tcpRecvMetrics(cache_spec, 20000);
         r = {static_cast<double>(m.memReadBlocks),
              static_cast<double>(m.memWriteBlocks), m.llcMissRate};
     } else {
-        const ServerMetrics m = nginxMetrics(mode, 3000);
+        const ServerMetrics m = nginxMetrics(cache_spec, 3000);
         r = {static_cast<double>(m.memReadBlocks),
              static_cast<double>(m.memWriteBlocks), m.llcMissRate};
     }
@@ -53,21 +54,20 @@ main()
                   "reduce traffic; defense within ~2% of DDIO)");
 
     const char *workloads[] = {"file-copy", "tcp-recv", "nginx"};
-    const CacheMode modes[] = {CacheMode::NoDdio, CacheMode::Ddio,
-                               CacheMode::AdaptivePartition};
+    const char *specs[] = {"cache.no-ddio", "cache.ddio",
+                           "cache.adaptive"};
 
     for (const char *wl : workloads) {
         std::printf("  -- %s --\n", wl);
-        std::printf("  %-24s %12s %12s %12s\n", "mode",
+        std::printf("  %-24s %12s %12s %12s\n", "cache policy",
                     "norm. reads", "norm. writes", "miss rate");
         bench::rule(66);
         Row base;
-        for (CacheMode mode : modes) {
-            const Row r = rowFor(mode, wl);
-            if (mode == CacheMode::NoDdio)
+        for (const char *spec : specs) {
+            const Row r = rowFor(spec, wl);
+            if (std::string(spec) == "cache.no-ddio")
                 base = r;
-            std::printf("  %-24s %12.3f %12.3f %12.4f\n",
-                        cacheModeName(mode),
+            std::printf("  %-24s %12.3f %12.3f %12.4f\n", spec,
                         base.rd > 0 ? r.rd / base.rd : 0.0,
                         base.wr > 0 ? r.wr / base.wr : 0.0, r.miss);
         }

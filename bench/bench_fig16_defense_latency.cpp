@@ -1,7 +1,9 @@
 /**
  * @file
  * Fig. 16: HTTP response tail latency under the candidate defenses,
- * wrk2-style open-loop load.
+ * wrk2-style open-loop load, plus the extended defense cells the
+ * registry-driven grid adds beyond the paper (intra-page offset,
+ * quarantine pool, way-restricted DDIO).
  *
  * Paper (140k req/s target): adaptive partitioning costs 3.1% at the
  * 99th percentile while full ring randomization costs 41.8%; partial
@@ -9,13 +11,15 @@
  * attack needs ~65k packets to deconstruct the ring, so 10k-interval
  * reshuffling still breaks it.
  *
- * Runs as a parallel campaign: the five defense configurations execute
- * concurrently (>= 4 worker threads by default; PKTCHASE_THREADS
- * overrides) and every configuration sees the same arrival process, so
- * the percentile columns are a paired comparison.
+ * Runs as a parallel campaign: all defense cells execute concurrently
+ * (>= 4 worker threads by default; PKTCHASE_THREADS overrides) and
+ * every cell sees the same arrival process, so the percentile columns
+ * are a paired comparison.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "runtime/sweep.hh"
@@ -23,6 +27,35 @@
 
 using namespace pktchase;
 using namespace pktchase::workload;
+
+namespace
+{
+
+void
+printTable(const std::vector<runtime::ScenarioResult> &results,
+           const std::string &prefix,
+           const std::vector<defense::Cell> &cells, double base_p99)
+{
+    std::printf("  %-40s %8s %8s %8s %8s %8s\n", "defense cell",
+                "p50", "p90", "p99", "p99.9", "p99.99");
+    bench::rule(92);
+    for (const defense::Cell &cell : cells) {
+        // Rows are looked up by canonical cell name so a reordered
+        // grid cannot silently mislabel a defense.
+        const auto &r =
+            bench::byName(results, prefix + "/" + cell.name());
+        const double p99 = r.value("p99");
+        std::printf("  %-40s %8.3f %8.3f %8.3f %8.3f %8.3f  "
+                    "(p99 %+5.1f%%)\n",
+                    cell.name().c_str(), r.value("p50"),
+                    r.value("p90"), p99, r.value("p99_9"),
+                    r.value("p99_99"),
+                    100.0 * (p99 / base_p99 - 1.0));
+    }
+    bench::rule(92);
+}
+
+} // namespace
 
 int
 main()
@@ -33,34 +66,23 @@ main()
 
     const double rate = 100000.0;
     const std::size_t requests = 20000;
-    const auto results =
-        runtime::sweep(fig16LatencyGrid(rate, requests));
 
-    // Rows are looked up by cell name so a reordered grid cannot
-    // silently mislabel a defense.
-    const struct { const char *label, *cell; } rows[] = {
-        {"vulnerable baseline", "fig16/baseline"},
-        {"fully randomized ring", "fig16/full-random"},
-        {"partial random (1k)", "fig16/partial-1k"},
-        {"partial random (10k)", "fig16/partial-10k"},
-        {"adaptive partitioning", "fig16/adaptive"},
-    };
+    // One concatenated sweep: the paper and extended cells share the
+    // worker pool (no barrier between the two tables), and the names
+    // already carry distinct fig16/fig16x prefixes.
+    auto grid = fig16LatencyGrid(rate, requests);
+    const auto extended = extendedLatencyGrid(rate, requests);
+    grid.insert(grid.end(), extended.begin(), extended.end());
+    const auto results = runtime::sweep(grid);
+    const double base_p99 = bench::byName(
+        results, "fig16/ring.none+cache.ddio").value("p99");
 
-    std::printf("  %-24s %8s %8s %8s %8s %8s  (ms)\n", "defense",
-                "p50", "p90", "p99", "p99.9", "p99.99");
-    bench::rule(76);
-    const double base_p99 =
-        bench::byName(results, "fig16/baseline").value("p99");
-    for (const auto &row : rows) {
-        const auto &r = bench::byName(results, row.cell);
-        const double p99 = r.value("p99");
-        std::printf("  %-24s %8.3f %8.3f %8.3f %8.3f %8.3f  "
-                    "(p99 %+5.1f%%)\n",
-                    row.label, r.value("p50"), r.value("p90"), p99,
-                    r.value("p99_9"), r.value("p99_99"),
-                    100.0 * (p99 / base_p99 - 1.0));
-    }
-    bench::rule(76);
+    std::printf("  paper cells (latency in ms):\n");
+    printTable(results, "fig16", fig16Cells(), base_p99);
+
+    std::printf("\n  extended cells (p99 vs. the same baseline):\n");
+    printTable(results, "fig16x", extendedCells(), base_p99);
+
     std::printf("  open loop at %.0fk req/s, %zu requests per "
                 "configuration\n", rate / 1000.0, requests);
     return 0;

@@ -25,7 +25,7 @@ FingerprintResult
 evaluate(bool ddio, std::size_t trials)
 {
     testbed::TestbedConfig tcfg;
-    tcfg.ddio = ddio;
+    tcfg.cacheDefense = ddio ? "cache.ddio" : "cache.no-ddio";
     testbed::Testbed tb(tcfg);
     WebsiteDb db({"facebook.com", "twitter.com", "google.com",
                   "amazon.com", "apple.com"},

@@ -6,9 +6,16 @@
  * 4-thread run of the same campaign seed.
  *
  * Build & run:  ./build/examples/campaign
+ *
+ * With an argument, run any registered grid by name instead and print
+ * its full merged report -- every experiment (and every defense cell
+ * in it) is reachable from the command line through the registries:
+ *
+ *     ./build/examples/campaign fig16x
  */
 
 #include <cstdio>
+#include <string>
 
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
@@ -17,9 +24,24 @@
 using namespace pktchase;
 
 int
-main()
+main(int argc, char **argv)
 {
     workload::registerDefenseScenarios();
+
+    if (argc > 1) {
+        const std::string name = argv[1];
+        if (!runtime::ScenarioRegistry::instance().contains(name)) {
+            std::fprintf(stderr, "unknown grid \"%s\"; registered:\n",
+                         name.c_str());
+            for (const std::string &n :
+                 runtime::ScenarioRegistry::instance().names())
+                std::fprintf(stderr, "  %s\n", n.c_str());
+            return 1;
+        }
+        const auto results = runtime::sweep(name);
+        std::fputs(runtime::formatReport(results).c_str(), stdout);
+        return 0;
+    }
 
     auto &reg = runtime::ScenarioRegistry::instance();
     std::printf("registered scenario grids:\n");
@@ -39,7 +61,7 @@ main()
     const auto parallel = runtime::sweep(grid, fast);
 
     for (const auto &r : parallel)
-        std::printf("  %-32s %8.1f kreq/s  miss %.3f\n",
+        std::printf("  %-40s %8.1f kreq/s  miss %.3f\n",
                     r.name.c_str(), r.value("kreq_per_sec"),
                     r.value("llc_miss_rate"));
 

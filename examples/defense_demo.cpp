@@ -1,15 +1,18 @@
 /**
  * @file
- * Defense demo (Sec. VII): the adaptive I/O cache partitioning stops
- * incoming packets from evicting CPU (spy) lines, closing the channel
- * while costing the server almost nothing.
+ * Defense demo (Secs. VI-VII): defenses are named registry specs, so
+ * trying a mitigation is a string, not a rebuild. The adaptive I/O
+ * cache partitioning stops incoming packets from evicting CPU (spy)
+ * lines, closing the channel while costing the server almost nothing.
  *
  * Build & run:  ./build/examples/defense_demo
  */
 
 #include <cstdio>
+#include <string>
 
 #include "channel/capacity.hh"
+#include "defense/registry.hh"
 #include "workload/defense_eval.hh"
 
 using namespace pktchase;
@@ -18,10 +21,10 @@ namespace
 {
 
 void
-runChannel(bool adaptive)
+runChannel(const std::string &cache_spec)
 {
     testbed::TestbedConfig cfg;
-    cfg.llc.adaptivePartition = adaptive;
+    cfg.cacheDefense = cache_spec;
     testbed::Testbed tb(cfg);
 
     channel::ChannelRunConfig run;
@@ -32,8 +35,7 @@ runChannel(bool adaptive)
 
     const auto &llc = tb.hier().llc().stats();
     std::printf("  %-22s sent %3zu, received %3zu, error %5.1f%%, "
-                "cpu lines evicted by I/O: %llu\n",
-                adaptive ? "adaptive partitioning:" : "vulnerable DDIO:",
+                "cpu lines evicted by I/O: %llu\n", cache_spec.c_str(),
                 m.sent, m.received, m.errorRate * 100.0,
                 static_cast<unsigned long long>(llc.cpuEvictedByIo));
 }
@@ -43,20 +45,29 @@ runChannel(bool adaptive)
 int
 main()
 {
-    std::printf("covert channel vs. the cache defense\n");
-    runChannel(false);
-    runChannel(true);
+    std::printf("registered defense policies\n");
+    for (const char *domain : {"ring", "cache"}) {
+        for (const std::string &name :
+             defense::Registry::instance().names(domain)) {
+            std::printf("  %-20s %s\n", name.c_str(),
+                        defense::Registry::instance()
+                            .description(name).c_str());
+        }
+    }
+
+    std::printf("\ncovert channel vs. the cache defense\n");
+    runChannel("cache.ddio");
+    runChannel("cache.adaptive");
 
     std::printf("\nserver cost of the defense (closed-loop Nginx, "
                 "20 MB LLC)\n");
     const auto base = workload::nginxThroughput(
-        workload::CacheMode::Ddio, cache::Geometry::xeonE52660(), 3000);
+        "cache.ddio", cache::Geometry::xeonE52660(), 3000);
     const auto def = workload::nginxThroughput(
-        workload::CacheMode::AdaptivePartition,
-        cache::Geometry::xeonE52660(), 3000);
-    std::printf("  DDIO baseline:          %.1f kreq/s\n",
+        "cache.adaptive", cache::Geometry::xeonE52660(), 3000);
+    std::printf("  cache.ddio:             %.1f kreq/s\n",
                 base.kiloRequestsPerSec);
-    std::printf("  adaptive partitioning:  %.1f kreq/s (%.1f%% "
+    std::printf("  cache.adaptive:         %.1f kreq/s (%.1f%% "
                 "overhead)\n",
                 def.kiloRequestsPerSec,
                 100.0 * (1.0 - def.kiloRequestsPerSec /

@@ -8,10 +8,11 @@ namespace pktchase::cache
 {
 
 Hierarchy::Hierarchy(const LlcConfig &llc_cfg, const HierarchyConfig &cfg,
-                     std::unique_ptr<SliceHash> hash, bool ddio)
+                     std::unique_ptr<SliceHash> hash,
+                     std::unique_ptr<InjectionPolicy> policy)
     : cfg_(cfg),
-      llc_(std::make_unique<Llc>(llc_cfg, std::move(hash))),
-      ddio_(ddio),
+      llc_(std::make_unique<Llc>(llc_cfg, std::move(hash),
+                                 std::move(policy))),
       rng_(cfg.seed)
 {
 }
@@ -48,8 +49,9 @@ Hierarchy::dmaWrite(Addr paddr, Addr bytes, Cycles now)
         return;
     const Addr first = paddr & ~(blockBytes - 1);
     const Addr last = (paddr + bytes - 1) & ~(blockBytes - 1);
+    const bool ddio = ddioEnabled();
     for (Addr block = first; block <= last; block += blockBytes) {
-        if (ddio_) {
+        if (ddio) {
             llc_->ioWrite(block, now);
             ++dma_.ddioBlocks;
         } else {

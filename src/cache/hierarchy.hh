@@ -61,10 +61,12 @@ class Hierarchy
      * @param llc_cfg  LLC configuration.
      * @param cfg      Latency/noise configuration.
      * @param hash     Slice hash (owned).
-     * @param ddio     Whether I/O writes use DDIO (inject into LLC).
+     * @param policy   DMA injection policy (owned by the LLC); nullptr
+     *                 means the DDIO baseline.
      */
     Hierarchy(const LlcConfig &llc_cfg, const HierarchyConfig &cfg,
-              std::unique_ptr<SliceHash> hash, bool ddio);
+              std::unique_ptr<SliceHash> hash,
+              std::unique_ptr<InjectionPolicy> policy = nullptr);
 
     /**
      * Timed CPU read as the attacker measures it.
@@ -85,8 +87,11 @@ class Hierarchy
      */
     void dmaWrite(Addr paddr, Addr bytes, Cycles now);
 
-    /** Whether DDIO injection is active. */
-    bool ddioEnabled() const { return ddio_; }
+    /** Whether DDIO injection is active (the policy injects to LLC). */
+    bool ddioEnabled() const
+    {
+        return llc_->injectionPolicy().injectsToLlc();
+    }
 
     /** Total memory read traffic in blocks (fills). */
     std::uint64_t memReadBlocks() const;
@@ -102,7 +107,6 @@ class Hierarchy
   private:
     HierarchyConfig cfg_;
     std::unique_ptr<Llc> llc_;
-    bool ddio_;
     DmaStats dma_;
     Rng rng_;
 };

@@ -7,8 +7,11 @@
 namespace pktchase::cache
 {
 
-Llc::Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash)
-    : cfg_(cfg), hash_(std::move(hash))
+Llc::Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash,
+         std::unique_ptr<InjectionPolicy> policy)
+    : cfg_(cfg), hash_(std::move(hash)),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<DdioPolicy>())
 {
     if (!hash_)
         fatal("Llc requires a slice hash");
@@ -18,27 +21,13 @@ Llc::Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash)
         fatal("Llc: way masks support at most 32 ways");
     if (cfg_.ddioWays == 0 || cfg_.ddioWays > cfg_.geom.ways)
         fatal("Llc: ddioWays out of range");
-    if (cfg_.adaptivePartition) {
-        if (cfg_.ioLinesMin == 0 || cfg_.ioLinesMin > cfg_.ioLinesMax ||
-            cfg_.ioLinesMax >= cfg_.geom.ways) {
-            fatal("Llc: bad adaptive partition bounds");
-        }
-        if (cfg_.ioLinesInit < cfg_.ioLinesMin ||
-            cfg_.ioLinesInit > cfg_.ioLinesMax) {
-            fatal("Llc: ioLinesInit outside [min, max]");
-        }
-        if (cfg_.adaptPeriod == 0)
-            fatal("Llc: adaptPeriod must be nonzero");
-    }
 
     const std::size_t sets = cfg_.geom.totalSets();
     lines_.assign(sets * cfg_.geom.ways, Line{});
     repl_ = makeReplacement(cfg_.replacement, sets, cfg_.geom.ways,
                             Rng(cfg_.seed));
-    if (cfg_.adaptivePartition) {
-        part_.assign(sets, PartState{
-            static_cast<std::uint8_t>(cfg_.ioLinesInit), 0, 0, 0});
-    }
+    policy_->init(*this);
+    partitioned_ = policy_->partitioned();
 }
 
 Llc::Line &
@@ -110,9 +99,7 @@ Llc::ioCount(std::size_t gset) const
 unsigned
 Llc::ioPartitionSize(std::size_t gset) const
 {
-    if (!cfg_.adaptivePartition)
-        return cfg_.ddioWays;
-    return part_[gset].ioLines;
+    return policy_->ioCap(gset);
 }
 
 void
@@ -139,15 +126,31 @@ Llc::evict(std::size_t gset, unsigned way, bool filler_is_io)
     repl_->reset(gset, way);
 }
 
+void
+Llc::partitionDrop(std::size_t gset, bool io_side)
+{
+    const WayMask mask = kindMask(gset, io_side);
+    if (mask == 0)
+        panic("Llc::partitionDrop: no line of the requested kind");
+    const unsigned w = repl_->victim(gset, mask);
+    Line &l = line(gset, w);
+    if (l.dirty)
+        ++stats_.writebacks;
+    l.valid = false;
+    l.dirty = false;
+    repl_->reset(gset, w);
+    ++stats_.partitionInvalidations;
+}
+
 unsigned
 Llc::cpuFill(std::size_t gset, Addr block, bool dirty)
 {
     ++stats_.memReads;
     int way = -1;
 
-    if (cfg_.adaptivePartition) {
+    if (partitioned_) {
         const unsigned cpu_quota =
-            cfg_.geom.ways - part_[gset].ioLines;
+            cfg_.geom.ways - policy_->ioCap(gset);
         const WayMask cpu_mask = kindMask(gset, false);
         const auto cpu_count =
             static_cast<unsigned>(popcount64(cpu_mask));
@@ -187,8 +190,7 @@ void
 Llc::ioFill(std::size_t gset, Addr block)
 {
     ++stats_.ioAllocations;
-    const unsigned cap = cfg_.adaptivePartition
-        ? part_[gset].ioLines : cfg_.ddioWays;
+    const unsigned cap = policy_->ioCap(gset);
     const WayMask io_mask = kindMask(gset, true);
     const auto io_count = static_cast<unsigned>(popcount64(io_mask));
 
@@ -197,7 +199,7 @@ Llc::ioFill(std::size_t gset, Addr block)
         // DDIO cap (or partition bound) reached: recycle an I/O line.
         way = static_cast<int>(repl_->victim(gset, io_mask));
         evict(gset, static_cast<unsigned>(way), true);
-    } else if (cfg_.adaptivePartition) {
+    } else if (partitioned_) {
         // Defense: the partition guarantees a free slot for I/O.
         way = findInvalid(gset);
         if (way < 0)
@@ -230,8 +232,7 @@ Llc::cpuRead(Addr paddr, Cycles now)
     ++stats_.cpuReads;
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    if (cfg_.adaptivePartition)
-        catchUpPartition(gset, now);
+    policy_->onAccess(*this, gset, now);
 
     const int way = findWay(gset, block);
     if (way >= 0) {
@@ -249,13 +250,12 @@ Llc::cpuWrite(Addr paddr, Cycles now)
     ++stats_.cpuWrites;
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    if (cfg_.adaptivePartition)
-        catchUpPartition(gset, now);
+    policy_->onAccess(*this, gset, now);
 
     const int way = findWay(gset, block);
     if (way >= 0) {
         Line &l = line(gset, static_cast<unsigned>(way));
-        if (l.isIo && cfg_.adaptivePartition) {
+        if (l.isIo && partitioned_) {
             // Defense: ownership may not silently flip -- that would
             // leave the CPU side over quota and the I/O side under-
             // counted. Move the line across the boundary properly:
@@ -289,13 +289,12 @@ Llc::ioWrite(Addr paddr, Cycles now)
     ++stats_.ioWrites;
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    if (cfg_.adaptivePartition)
-        catchUpPartition(gset, now);
+    policy_->onAccess(*this, gset, now);
 
     const int way = findWay(gset, block);
     if (way >= 0) {
         Line &l = line(gset, static_cast<unsigned>(way));
-        if (!l.isIo && cfg_.adaptivePartition) {
+        if (!l.isIo && partitioned_) {
             // Defense: DMA may not silently convert a CPU line into an
             // I/O line (that would grow the I/O side past its bound).
             // Invalidate the stale copy and allocate in the partition.
@@ -360,97 +359,6 @@ Llc::flushAll()
             repl_->reset(gset, w);
         }
     }
-}
-
-void
-Llc::adaptPartition(std::size_t gset)
-{
-    PartState &ps = part_[gset];
-    ++stats_.partitionAdaptations;
-    const unsigned old_lines = ps.ioLines;
-    if (ps.presentAcc > cfg_.tHigh) {
-        ps.ioLines = static_cast<std::uint8_t>(
-            std::min<unsigned>(ps.ioLines + 1, cfg_.ioLinesMax));
-    } else if (ps.presentAcc < cfg_.tLow) {
-        ps.ioLines = static_cast<std::uint8_t>(
-            std::max<unsigned>(ps.ioLines - 1, cfg_.ioLinesMin));
-    }
-    if (ps.ioLines != old_lines)
-        enforcePartition(gset);
-}
-
-void
-Llc::enforcePartition(std::size_t gset)
-{
-    const PartState &ps = part_[gset];
-    // Shrink: displace I/O lines beyond the new bound.
-    while (ioCount(gset) > ps.ioLines) {
-        const WayMask io_mask = kindMask(gset, true);
-        const unsigned w = repl_->victim(gset, io_mask);
-        if (line(gset, w).dirty)
-            ++stats_.writebacks;
-        line(gset, w).valid = false;
-        line(gset, w).dirty = false;
-        repl_->reset(gset, w);
-        ++stats_.partitionInvalidations;
-    }
-    // Grow: displace CPU lines past the reduced CPU quota.
-    const unsigned cpu_quota = cfg_.geom.ways - ps.ioLines;
-    while (validCount(gset) - ioCount(gset) > cpu_quota) {
-        const WayMask cpu_mask = kindMask(gset, false);
-        const unsigned w = repl_->victim(gset, cpu_mask);
-        if (line(gset, w).dirty)
-            ++stats_.writebacks;
-        line(gset, w).valid = false;
-        line(gset, w).dirty = false;
-        repl_->reset(gset, w);
-        ++stats_.partitionInvalidations;
-    }
-}
-
-void
-Llc::catchUpPartition(std::size_t gset, Cycles now)
-{
-    PartState &ps = part_[gset];
-    if (now < ps.lastUpdate) {
-        // Out-of-order timestamps can occur when distinct agents use
-        // loosely synchronized clocks; treat as "no time elapsed".
-        return;
-    }
-
-    // Between accesses the set's contents are constant, so presence is
-    // constant over the catch-up span. The partition size saturates
-    // after at most (max - min) same-direction adjustments, after which
-    // further idle periods are no-ops and can be skipped in O(1).
-    unsigned budget = cfg_.ioLinesMax - cfg_.ioLinesMin + 1;
-    while (ps.periodStart + cfg_.adaptPeriod <= now) {
-        const Cycles period_end = ps.periodStart + cfg_.adaptPeriod;
-        const bool present = ioCount(gset) > 0;
-        if (present)
-            ps.presentAcc += period_end - ps.lastUpdate;
-        adaptPartition(gset);
-        ps.presentAcc = 0;
-        ps.periodStart = period_end;
-        ps.lastUpdate = period_end;
-
-        if (budget > 0)
-            --budget;
-        if (budget == 0) {
-            // Partition size has saturated for this (constant) presence
-            // level; every further idle period repeats the same decision,
-            // so whole periods can be skipped in O(1).
-            const Cycles whole =
-                (now - ps.periodStart) / cfg_.adaptPeriod;
-            if (whole > 0) {
-                ps.periodStart += whole * cfg_.adaptPeriod;
-                ps.lastUpdate = ps.periodStart;
-            }
-        }
-    }
-    const bool present = ioCount(gset) > 0;
-    if (present)
-        ps.presentAcc += now - ps.lastUpdate;
-    ps.lastUpdate = now;
 }
 
 } // namespace pktchase::cache

@@ -1,24 +1,21 @@
 /**
  * @file
- * Sliced, inclusive last-level cache with DDIO write allocation and the
- * paper's adaptive I/O partitioning defense.
+ * Sliced, inclusive last-level cache whose DMA behaviour is delegated
+ * to a pluggable InjectionPolicy (see injection_policy.hh).
  *
  * Three fill paths exist:
- *  - CPU reads/writes: demand fills that may displace any line (or, with
- *    the Sec. VII defense enabled, only CPU lines).
+ *  - CPU reads/writes: demand fills that may displace any line (or,
+ *    under a partitioned policy such as the Sec. VII defense, only CPU
+ *    lines).
  *  - DDIO I/O writes: the NIC's DMA transactions allocate directly in
- *    the LLC in dirty state, capped at ddioWays (2) allocations per set,
- *    but still able to evict CPU lines in the baseline -- the contention
- *    the whole attack rests on.
+ *    the LLC in dirty state, capped at the policy's per-set I/O bound
+ *    (ddioWays for the baseline), but still able to evict CPU lines in
+ *    the baseline -- the contention the whole attack rests on.
  *  - Non-DDIO DMA: writes go to memory and invalidate any cached copy;
  *    the driver's later header read demand-fetches.
  *
- * The adaptive partitioning defense keeps a per-set I/O partition size
- * (io_lines, 1..3) and a per-set I/O-presence cycle counter; every
- * adaptation period the partition grows if presence exceeded T_high and
- * shrinks if it stayed below T_low, invalidating displaced blocks. With
- * the defense on, an I/O fill can never evict a CPU line (tested as an
- * invariant), which closes the channel.
+ * Under AdaptivePartitionPolicy an I/O fill can never evict a CPU line
+ * (tested as an invariant), which closes the channel.
  */
 
 #ifndef PKTCHASE_CACHE_LLC_HH
@@ -29,6 +26,7 @@
 #include <vector>
 
 #include "cache/geometry.hh"
+#include "cache/injection_policy.hh"
 #include "cache/replacement.hh"
 #include "cache/slice_hash.hh"
 #include "sim/rng.hh"
@@ -46,8 +44,8 @@ struct LlcConfig
     /** Max ways DDIO may allocate per set (Intel's ~10% guidance). */
     unsigned ddioWays = 2;
 
-    /** Enable the Sec. VII adaptive I/O partitioning defense. */
-    bool adaptivePartition = false;
+    // Tuning parameters for AdaptivePartitionPolicy (ignored by the
+    // static policies).
     unsigned ioLinesMin = 1;     ///< Hard lower bound on partition size.
     unsigned ioLinesMax = 3;     ///< Hard upper bound on partition size.
     unsigned ioLinesInit = 2;    ///< Partition size at reset.
@@ -91,11 +89,14 @@ class Llc
 {
   public:
     /**
-     * @param cfg   Geometry, policy, and defense configuration.
-     * @param hash  Slice selector; its slice count must match the
-     *              geometry. Owned by the cache.
+     * @param cfg    Geometry and policy configuration.
+     * @param hash   Slice selector; its slice count must match the
+     *               geometry. Owned by the cache.
+     * @param policy DMA injection policy; nullptr means the DDIO
+     *               baseline (DdioPolicy). Owned by the cache.
      */
-    Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash);
+    Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash,
+        std::unique_ptr<InjectionPolicy> policy = nullptr);
 
     /**
      * CPU demand read of the block containing @p paddr.
@@ -108,8 +109,8 @@ class Llc
 
     /**
      * DDIO I/O write of the block containing @p paddr: update in place
-     * on hit, otherwise allocate dirty, displacing per the DDIO cap or
-     * the partition rules.
+     * on hit, otherwise allocate dirty, displacing per the injection
+     * policy's per-set cap and partition rules.
      */
     void ioWrite(Addr paddr, Cycles now);
 
@@ -143,9 +144,8 @@ class Llc
     unsigned ioCount(std::size_t gset) const;
 
     /**
-     * Current I/O partition size for @p gset. Meaningful only when
-     * the adaptive partition defense is enabled; returns ddioWays
-     * otherwise.
+     * Current I/O partition size for @p gset: the injection policy's
+     * per-set cap (ddioWays for the static DDIO variants).
      */
     unsigned ioPartitionSize(std::size_t gset) const;
 
@@ -154,8 +154,27 @@ class Llc
     const Geometry &geometry() const { return cfg_.geom; }
     const SliceHash &sliceHash() const { return *hash_; }
 
+    /** The active DMA injection policy. */
+    const InjectionPolicy &injectionPolicy() const { return *policy_; }
+
     /** Reset all statistics counters (cache contents untouched). */
     void clearStats() { stats_ = LlcStats{}; }
+
+    // ------------------------------------------------------------------
+    // Injection-policy mutation surface: policies rearrange set
+    // contents only through these, so the writeback and partition
+    // statistics stay consistent.
+    // ------------------------------------------------------------------
+
+    /**
+     * Invalidate the replacement victim among @p gset's lines of the
+     * given kind (writeback accounted, counted as a partition
+     * invalidation). At least one line of that kind must be valid.
+     */
+    void partitionDrop(std::size_t gset, bool io_side);
+
+    /** Count one adaptation-period boundary decision. */
+    void notePartitionAdaptation() { ++stats_.partitionAdaptations; }
 
   private:
     struct Line
@@ -166,20 +185,12 @@ class Llc
         bool isIo = false;
     };
 
-    /** Adaptive-partition bookkeeping, one per set. */
-    struct PartState
-    {
-        std::uint8_t ioLines;
-        Cycles periodStart = 0;
-        Cycles lastUpdate = 0;
-        Cycles presentAcc = 0;
-    };
-
     LlcConfig cfg_;
     std::unique_ptr<SliceHash> hash_;
+    std::unique_ptr<InjectionPolicy> policy_;
+    bool partitioned_ = false;     ///< Cached policy_->partitioned().
     std::unique_ptr<ReplacementPolicy> repl_;
     std::vector<Line> lines_;      ///< totalSets x ways.
-    std::vector<PartState> part_;  ///< Only sized when defense enabled.
     LlcStats stats_;
 
     Line &line(std::size_t gset, unsigned way);
@@ -202,15 +213,6 @@ class Llc
 
     /** Handle a DDIO allocation. */
     void ioFill(std::size_t gset, Addr block);
-
-    /** Lazily advance the partition state of @p gset to time @p now. */
-    void catchUpPartition(std::size_t gset, Cycles now);
-
-    /** Apply one adaptation-period boundary decision to @p gset. */
-    void adaptPartition(std::size_t gset);
-
-    /** Enforce partition bounds after io_lines changed. */
-    void enforcePartition(std::size_t gset);
 };
 
 } // namespace pktchase::cache

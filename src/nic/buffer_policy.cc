@@ -1,0 +1,91 @@
+#include "buffer_policy.hh"
+
+#include "mem/phys_mem.hh"
+#include "nic/igb_driver.hh"
+#include "sim/logging.hh"
+
+namespace pktchase::nic
+{
+
+void
+FullRandomPolicy::onRecycle(IgbDriver &drv, std::size_t i)
+{
+    drv.reallocBuffer(i);
+}
+
+PartialPeriodicPolicy::PartialPeriodicPolicy(std::uint64_t interval)
+    : interval_(interval)
+{
+    if (interval_ == 0)
+        fatal("PartialPeriodicPolicy: interval must be nonzero");
+}
+
+std::string
+PartialPeriodicPolicy::name() const
+{
+    return "ring.partial:" + std::to_string(interval_);
+}
+
+void
+PartialPeriodicPolicy::onPacket(IgbDriver &drv, std::uint64_t n)
+{
+    if (n > 0 && n % interval_ == 0)
+        drv.randomizeRing();
+}
+
+void
+RandomOffsetPolicy::onInit(IgbDriver &drv)
+{
+    // A private stream: the driver's own Rng (remote-NUMA draws) must
+    // advance exactly as it does under every other policy.
+    rng_ = Rng(drv.config().seed ^ 0xA5F0C3D2E1B49786ull);
+}
+
+void
+RandomOffsetPolicy::onRecycle(IgbDriver &drv, std::size_t i)
+{
+    drv.setPageOffset(i, rng_.nextBool(0.5)
+        ? drv.config().bufferBytes : 0);
+}
+
+QuarantinePolicy::QuarantinePolicy(std::uint64_t depth)
+    : depth_(depth)
+{
+    if (depth_ == 0)
+        fatal("QuarantinePolicy: depth must be nonzero");
+}
+
+std::string
+QuarantinePolicy::name() const
+{
+    return "ring.quarantine:" + std::to_string(depth_);
+}
+
+void
+QuarantinePolicy::onInit(IgbDriver &drv)
+{
+    const auto frames = drv.phys().allocFrames(
+        static_cast<std::size_t>(depth_), mem::Owner::Kernel);
+    pool_.assign(frames.begin(), frames.end());
+}
+
+void
+QuarantinePolicy::onRecycle(IgbDriver &drv, std::size_t i)
+{
+    // FIFO rotation: the just-used page enters at the tail, the oldest
+    // quarantined page leaves at the head -- with depth >= 1 the page
+    // handed back can never be the one that was just pushed.
+    const Addr fresh = pool_.front();
+    pool_.pop_front();
+    pool_.push_back(drv.swapPage(i, fresh));
+}
+
+void
+QuarantinePolicy::onTeardown(IgbDriver &drv)
+{
+    for (Addr page : pool_)
+        drv.phys().freeFrame(page);
+    pool_.clear();
+}
+
+} // namespace pktchase::nic

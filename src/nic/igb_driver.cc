@@ -6,9 +6,12 @@ namespace pktchase::nic
 {
 
 IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
-                     cache::Hierarchy &hier)
+                     cache::Hierarchy &hier,
+                     std::unique_ptr<BufferPolicy> policy)
     : cfg_(cfg), phys_(phys), hier_(hier), ring_(cfg.ringSize),
-      rng_(cfg.seed)
+      rng_(cfg.seed),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<NonePolicy>())
 {
     if (cfg_.bufferBytes != pageBytes / 2)
         fatal("IgbDriver models exactly two 2 KB buffers per page");
@@ -24,10 +27,13 @@ IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
 
     // Small recycled pool of skb data pages for copy-break copies.
     skbPages_ = phys_.allocFrames(64, mem::Owner::Kernel);
+
+    policy_->onInit(*this);
 }
 
 IgbDriver::~IgbDriver()
 {
+    policy_->onTeardown(*this);
     for (std::size_t i = 0; i < ring_.size(); ++i)
         phys_.freeFrame(ring_.desc(i).pageBase);
     for (Addr page : skbPages_)
@@ -40,11 +46,7 @@ IgbDriver::receive(const Frame &frame, Cycles now)
     if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
         fatal("IgbDriver::receive: frame size outside 802.3 limits");
 
-    if (cfg_.defense == RingDefense::PartialPeriodic &&
-        stats_.framesReceived > 0 &&
-        stats_.framesReceived % cfg_.randomizeInterval == 0) {
-        randomizeRing();
-    }
+    policy_->onPacket(*this, stats_.framesReceived);
 
     const std::size_t index = ring_.head();
 
@@ -117,8 +119,7 @@ IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
         }
     }
 
-    if (cfg_.defense == RingDefense::FullRandom)
-        reallocBuffer(desc_index);
+    policy_->onRecycle(*this, desc_index);
 }
 
 void
@@ -136,6 +137,26 @@ IgbDriver::randomizeRing()
     for (std::size_t i = 0; i < ring_.size(); ++i)
         reallocBuffer(i);
     ++stats_.ringRandomizations;
+}
+
+Addr
+IgbDriver::swapPage(std::size_t i, Addr new_page)
+{
+    if (new_page % pageBytes != 0)
+        fatal("IgbDriver::swapPage: page base not page aligned");
+    const Addr old_page = ring_.desc(i).pageBase;
+    ring_.desc(i).pageBase = new_page;
+    ring_.desc(i).pageOffset = 0;
+    ++stats_.pageSwaps;
+    return old_page;
+}
+
+void
+IgbDriver::setPageOffset(std::size_t i, Addr offset)
+{
+    if (offset != 0 && offset != cfg_.bufferBytes)
+        fatal("IgbDriver::setPageOffset: offset must name a page half");
+    ring_.desc(i).pageOffset = offset;
 }
 
 std::vector<std::size_t>

@@ -16,19 +16,25 @@
  *  - unknown-protocol frames are dropped after the header check with no
  *    stack activity;
  *  - optional remote-NUMA reallocation (the unlikely branch in
- *    igb_can_reuse_rx_page);
- *  - the Sec. VI software defenses: full per-packet buffer
- *    randomization and periodic partial randomization.
+ *    igb_can_reuse_rx_page).
+ *
+ * The Sec. VI software defenses are not hardwired here: the driver
+ * calls the hooks of a pluggable nic::BufferPolicy at fixed points of
+ * the receive path (see buffer_policy.hh for the hook contract) and
+ * exposes a narrow mutation surface for policies to rearrange the
+ * ring's backing pages.
  */
 
 #ifndef PKTCHASE_NIC_IGB_DRIVER_HH
 #define PKTCHASE_NIC_IGB_DRIVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "nic/buffer_policy.hh"
 #include "nic/frame.hh"
 #include "nic/rx_ring.hh"
 #include "sim/rng.hh"
@@ -37,14 +43,6 @@
 namespace pktchase::nic
 {
 
-/** Software ring-buffer defenses from Sec. VI. */
-enum class RingDefense : std::uint8_t
-{
-    None,            ///< Vulnerable baseline.
-    FullRandom,      ///< Fresh random buffer for every packet.
-    PartialPeriodic, ///< Reshuffle all buffers every N packets.
-};
-
 /** Driver configuration knobs. */
 struct IgbConfig
 {
@@ -52,9 +50,6 @@ struct IgbConfig
     Addr bufferBytes = 2048;          ///< Half a page per buffer.
     Addr copyBreak = 256;             ///< IGB_RX_HDR_LEN.
     double remoteNumaProb = 0.0;      ///< P(buffer lands on remote node).
-
-    RingDefense defense = RingDefense::None;
-    std::uint64_t randomizeInterval = 1000; ///< Packets, for Partial.
 
     /** Latency from I/O write to driver header read (non-DDIO path). */
     Cycles ioToDriverLatency = 12000;
@@ -72,7 +67,8 @@ struct IgbStats
     std::uint64_t framesDropped = 0;   ///< Unknown protocol.
     std::uint64_t copyBreakFrames = 0;
     std::uint64_t pageFlips = 0;
-    std::uint64_t buffersReallocated = 0;
+    std::uint64_t buffersReallocated = 0; ///< Allocator round-trips.
+    std::uint64_t pageSwaps = 0;       ///< Pool rotations (no allocator).
     std::uint64_t ringRandomizations = 0;
 };
 
@@ -87,12 +83,14 @@ class IgbDriver
      * page, using the lower half first, per the IGB allocation pattern)
      * and populate the descriptor ring.
      *
-     * @param cfg   Driver configuration.
-     * @param phys  Kernel page frame source.
-     * @param hier  Memory hierarchy for buffer/skb accesses.
+     * @param cfg    Driver configuration.
+     * @param phys   Kernel page frame source.
+     * @param hier   Memory hierarchy for buffer/skb accesses.
+     * @param policy Software ring defense; nullptr means NonePolicy.
      */
     IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
-              cache::Hierarchy &hier);
+              cache::Hierarchy &hier,
+              std::unique_ptr<BufferPolicy> policy = nullptr);
 
     ~IgbDriver();
 
@@ -126,6 +124,39 @@ class IgbDriver
     const IgbStats &stats() const { return stats_; }
     const IgbConfig &config() const { return cfg_; }
 
+    /** The active software ring defense. */
+    const BufferPolicy &policy() const { return *policy_; }
+
+    // ------------------------------------------------------------------
+    // Policy mutation surface: BufferPolicy hooks rearrange the ring's
+    // backing pages only through these, so the defense cost statistics
+    // stay consistent across policies.
+    // ------------------------------------------------------------------
+
+    /**
+     * Replace the page backing descriptor @p i with a fresh frame from
+     * the allocator (counts one buffer reallocation).
+     */
+    void reallocBuffer(std::size_t i);
+
+    /** Reallocate every descriptor (counts one ring randomization). */
+    void randomizeRing();
+
+    /**
+     * Exchange descriptor @p i's page for @p new_page without touching
+     * the allocator (counts one page swap); the buffer offset resets to
+     * the lower half.
+     *
+     * @return The page previously backing the descriptor.
+     */
+    Addr swapPage(std::size_t i, Addr new_page);
+
+    /** Move descriptor @p i's buffer to @p offset within its page. */
+    void setPageOffset(std::size_t i, Addr offset);
+
+    /** Frame source, for policies that own spare pages. */
+    mem::PhysMem &phys() { return phys_; }
+
   private:
     IgbConfig cfg_;
     mem::PhysMem &phys_;
@@ -133,16 +164,11 @@ class IgbDriver
     RxRing ring_;
     Rng rng_;
     IgbStats stats_;
+    std::unique_ptr<BufferPolicy> policy_;
 
     /** Small reused pool of skb pages for copy-break destinations. */
     std::vector<Addr> skbPages_;
     std::size_t nextSkb_ = 0;
-
-    /** Replace the page backing descriptor @p i with a fresh frame. */
-    void reallocBuffer(std::size_t i);
-
-    /** Reshuffle every descriptor onto fresh pages (partial defense). */
-    void randomizeRing();
 
     /** Driver-side processing of a filled descriptor. */
     void processRx(std::size_t desc_index, const Frame &frame,

@@ -1,5 +1,6 @@
 #include "testbed.hh"
 
+#include "defense/registry.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::testbed
@@ -45,8 +46,11 @@ Testbed::Testbed(const TestbedConfig &cfg)
     phys_ = std::make_unique<mem::PhysMem>(cfg_.physBytes,
                                            Rng(cfg_.seed));
     hier_ = std::make_unique<cache::Hierarchy>(
-        cfg_.llc, cfg_.hier, hashForGeometry(cfg_.llc.geom), cfg_.ddio);
-    driver_ = std::make_unique<nic::IgbDriver>(cfg_.igb, *phys_, *hier_);
+        cfg_.llc, cfg_.hier, hashForGeometry(cfg_.llc.geom),
+        defense::makeCachePolicy(cfg_.cacheDefense));
+    driver_ = std::make_unique<nic::IgbDriver>(
+        cfg_.igb, *phys_, *hier_,
+        defense::makeRingPolicy(cfg_.ringDefense));
     spySpace_ = std::make_unique<mem::AddressSpace>(
         *phys_, mem::Owner::Attacker);
     builder_ = std::make_unique<attack::EvictionSetBuilder>(

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attack/eviction_set.hh"
@@ -36,7 +37,15 @@ struct TestbedConfig
     nic::IgbConfig igb;
     attack::BuilderConfig builder;
 
-    bool ddio = true;              ///< DDIO on (paper's default).
+    /**
+     * Defense specs, resolved through defense::Registry at assembly:
+     * the software ring defense driving the IGB driver's buffer
+     * recycling and the cache-side DMA injection policy. The defaults
+     * are the paper's vulnerable DDIO baseline.
+     */
+    std::string ringDefense = "ring.none";
+    std::string cacheDefense = "cache.ddio";
+
     Addr physBytes = Addr(256) << 20; ///< 256 MB of frames.
     std::uint64_t seed = 1;
 

@@ -6,31 +6,15 @@
 namespace pktchase::workload
 {
 
-const char *
-cacheModeName(CacheMode mode)
-{
-    switch (mode) {
-      case CacheMode::NoDdio:
-        return "no-ddio";
-      case CacheMode::Ddio:
-        return "ddio";
-      case CacheMode::AdaptivePartition:
-        return "adaptive-partitioning";
-    }
-    return "?";
-}
-
 testbed::TestbedConfig
-makeDefenseConfig(CacheMode mode, const cache::Geometry &geom,
-                  nic::RingDefense defense,
-                  std::uint64_t randomize_interval)
+makeDefenseConfig(const std::string &cache_spec,
+                  const cache::Geometry &geom,
+                  const std::string &ring_spec)
 {
     testbed::TestbedConfig cfg;
     cfg.llc.geom = geom;
-    cfg.ddio = mode != CacheMode::NoDdio;
-    cfg.llc.adaptivePartition = mode == CacheMode::AdaptivePartition;
-    cfg.igb.defense = defense;
-    cfg.igb.randomizeInterval = randomize_interval;
+    cfg.cacheDefense = cache_spec;
+    cfg.ringDefense = ring_spec;
     // The workload experiments never probe; kill measurement noise so
     // the performance numbers are stable run to run.
     cfg.hier.timerNoiseSigma = 0.0;
@@ -43,45 +27,44 @@ makeDefenseConfig(CacheMode mode, const cache::Geometry &geom,
 }
 
 ServerMetrics
-nginxThroughput(CacheMode mode, const cache::Geometry &geom,
-                std::size_t requests, const ServerConfig &scfg)
+nginxThroughput(const std::string &cache_spec,
+                const cache::Geometry &geom, std::size_t requests,
+                const ServerConfig &scfg)
 {
-    testbed::Testbed tb(makeDefenseConfig(mode, geom));
+    testbed::Testbed tb(makeDefenseConfig(cache_spec, geom));
     ServerWorkload server(tb, scfg);
     return server.closedLoop(requests);
 }
 
 IoMetrics
-fileCopyMetrics(CacheMode mode, Addr bytes)
+fileCopyMetrics(const std::string &cache_spec, Addr bytes)
 {
     testbed::Testbed tb(
-        makeDefenseConfig(mode, cache::Geometry::xeonE52660()));
+        makeDefenseConfig(cache_spec, cache::Geometry::xeonE52660()));
     return runFileCopy(tb, bytes);
 }
 
 IoMetrics
-tcpRecvMetrics(CacheMode mode, std::uint64_t packets)
+tcpRecvMetrics(const std::string &cache_spec, std::uint64_t packets)
 {
     testbed::Testbed tb(
-        makeDefenseConfig(mode, cache::Geometry::xeonE52660()));
+        makeDefenseConfig(cache_spec, cache::Geometry::xeonE52660()));
     return runTcpRecv(tb, packets);
 }
 
 ServerMetrics
-nginxMetrics(CacheMode mode, std::size_t requests)
+nginxMetrics(const std::string &cache_spec, std::size_t requests)
 {
-    return nginxThroughput(mode, cache::Geometry::xeonE52660(),
+    return nginxThroughput(cache_spec, cache::Geometry::xeonE52660(),
                            requests);
 }
 
 LatencyResult
-nginxLatency(CacheMode mode, nic::RingDefense defense,
-             std::uint64_t randomize_interval, double rate,
+nginxLatency(const defense::Cell &cell, double rate,
              std::size_t requests, const ServerConfig &scfg)
 {
     testbed::Testbed tb(makeDefenseConfig(
-        mode, cache::Geometry::xeonE52660(), defense,
-        randomize_interval));
+        cell.cache, cache::Geometry::xeonE52660(), cell.ring));
     ServerWorkload server(tb, scfg);
     return server.openLoop(rate, requests);
 }
@@ -130,12 +113,12 @@ fig14ThroughputGrid(std::size_t requests)
 {
     std::vector<runtime::Scenario> grid;
     for (std::size_t g = 0; g < 3; ++g) {
-        for (CacheMode mode : {CacheMode::Ddio,
-                               CacheMode::AdaptivePartition}) {
+        for (const char *cache_spec : {"cache.ddio", "cache.adaptive"}) {
+            const defense::Cell cell{"ring.none", cache_spec};
             std::string name = std::string("fig14/") + geomLabel(g) +
-                               "/" + cacheModeName(mode);
+                               "/" + cell.name();
             grid.push_back({name,
-                [g, mode, requests](runtime::ScenarioContext &ctx) {
+                [g, cell, requests](runtime::ScenarioContext &ctx) {
                     ServerConfig scfg;
                     // Cells at the same LLC size share a workload
                     // stream so DDIO vs. adaptive is a paired
@@ -144,7 +127,7 @@ fig14ThroughputGrid(std::size_t requests)
                                                    runtime::axisSalt(g));
                     runtime::ScenarioResult r;
                     fillServerMetrics(r, nginxThroughput(
-                        mode, geomOf(g), requests, scfg));
+                        cell.cache, geomOf(g), requests, scfg));
                     return r;
                 }});
         }
@@ -157,13 +140,14 @@ fig15TrafficGrid(Addr copy_bytes, std::uint64_t packets,
                  std::size_t requests)
 {
     std::vector<runtime::Scenario> grid;
-    const CacheMode modes[] = {CacheMode::NoDdio, CacheMode::Ddio,
-                               CacheMode::AdaptivePartition};
-    for (CacheMode mode : modes) {
-        grid.push_back({std::string("fig15/filecopy/") +
-                        cacheModeName(mode),
-            [mode, copy_bytes](runtime::ScenarioContext &) {
-                const IoMetrics m = fileCopyMetrics(mode, copy_bytes);
+    const char *specs[] = {"cache.no-ddio", "cache.ddio",
+                           "cache.adaptive"};
+    for (const char *spec : specs) {
+        const defense::Cell cell{"ring.none", spec};
+        grid.push_back({"fig15/filecopy/" + cell.name(),
+            [cell, copy_bytes](runtime::ScenarioContext &) {
+                const IoMetrics m =
+                    fileCopyMetrics(cell.cache, copy_bytes);
                 runtime::ScenarioResult r;
                 r.set("mem_read_blocks",
                       static_cast<double>(m.memReadBlocks));
@@ -173,11 +157,11 @@ fig15TrafficGrid(Addr copy_bytes, std::uint64_t packets,
                 return r;
             }});
     }
-    for (CacheMode mode : modes) {
-        grid.push_back({std::string("fig15/tcprecv/") +
-                        cacheModeName(mode),
-            [mode, packets](runtime::ScenarioContext &) {
-                const IoMetrics m = tcpRecvMetrics(mode, packets);
+    for (const char *spec : specs) {
+        const defense::Cell cell{"ring.none", spec};
+        grid.push_back({"fig15/tcprecv/" + cell.name(),
+            [cell, packets](runtime::ScenarioContext &) {
+                const IoMetrics m = tcpRecvMetrics(cell.cache, packets);
                 runtime::ScenarioResult r;
                 r.set("mem_read_blocks",
                       static_cast<double>(m.memReadBlocks));
@@ -187,56 +171,61 @@ fig15TrafficGrid(Addr copy_bytes, std::uint64_t packets,
                 return r;
             }});
     }
-    for (CacheMode mode : modes) {
-        grid.push_back({std::string("fig15/nginx/") +
-                        cacheModeName(mode),
-            [mode, requests](runtime::ScenarioContext &ctx) {
+    for (const char *spec : specs) {
+        const defense::Cell cell{"ring.none", spec};
+        grid.push_back({"fig15/nginx/" + cell.name(),
+            [cell, requests](runtime::ScenarioContext &ctx) {
                 ServerConfig scfg;
                 scfg.seed = runtime::splitSeed(
                     ctx.campaignSeed, runtime::axisSalt(0x15));
                 runtime::ScenarioResult r;
                 fillServerMetrics(r, nginxThroughput(
-                    mode, cache::Geometry::xeonE52660(), requests,
-                    scfg));
+                    cell.cache, cache::Geometry::xeonE52660(),
+                    requests, scfg));
                 return r;
             }});
     }
     return grid;
 }
 
-std::vector<runtime::Scenario>
-fig16LatencyGrid(double rate, std::size_t requests)
+std::vector<defense::Cell>
+fig16Cells()
 {
-    struct Config
-    {
-        const char *name;
-        CacheMode mode;
-        nic::RingDefense defense;
-        std::uint64_t interval;
+    return {
+        {"ring.none", "cache.ddio"},          // vulnerable baseline
+        {"ring.full", "cache.ddio"},
+        {"ring.partial:1000", "cache.ddio"},
+        {"ring.partial:10000", "cache.ddio"},
+        {"ring.none", "cache.adaptive"},
     };
-    static const Config configs[] = {
-        {"baseline", CacheMode::Ddio, nic::RingDefense::None, 0},
-        {"full-random", CacheMode::Ddio, nic::RingDefense::FullRandom,
-         0},
-        {"partial-1k", CacheMode::Ddio,
-         nic::RingDefense::PartialPeriodic, 1000},
-        {"partial-10k", CacheMode::Ddio,
-         nic::RingDefense::PartialPeriodic, 10000},
-        {"adaptive", CacheMode::AdaptivePartition,
-         nic::RingDefense::None, 0},
-    };
+}
 
+std::vector<defense::Cell>
+extendedCells()
+{
+    return {
+        {"ring.offset", "cache.ddio"},
+        {"ring.quarantine:16", "cache.ddio"},
+        {"ring.none", "cache.ddio-ways:2"},
+        {"ring.offset", "cache.ddio-ways:2"},
+        {"ring.quarantine:16", "cache.adaptive"},
+    };
+}
+
+std::vector<runtime::Scenario>
+latencyGrid(const std::vector<defense::Cell> &cells, double rate,
+            std::size_t requests, const std::string &prefix)
+{
     std::vector<runtime::Scenario> grid;
-    for (const Config &c : configs) {
-        grid.push_back({std::string("fig16/") + c.name,
-            [c, rate, requests](runtime::ScenarioContext &ctx) {
+    for (const defense::Cell &cell : cells) {
+        grid.push_back({prefix + "/" + cell.name(),
+            [cell, rate, requests](runtime::ScenarioContext &ctx) {
                 ServerConfig scfg;
                 // Every defense sees the same arrival process.
                 scfg.seed = runtime::splitSeed(
                     ctx.campaignSeed, runtime::axisSalt(0x16));
-                const LatencyResult lat = nginxLatency(
-                    c.mode, c.defense, c.interval, rate, requests,
-                    scfg);
+                const LatencyResult lat =
+                    nginxLatency(cell, rate, requests, scfg);
                 runtime::ScenarioResult r;
                 r.set("p50", lat.percentile(50));
                 r.set("p90", lat.percentile(90));
@@ -248,6 +237,18 @@ fig16LatencyGrid(double rate, std::size_t requests)
             }});
     }
     return grid;
+}
+
+std::vector<runtime::Scenario>
+fig16LatencyGrid(double rate, std::size_t requests)
+{
+    return latencyGrid(fig16Cells(), rate, requests, "fig16");
+}
+
+std::vector<runtime::Scenario>
+extendedLatencyGrid(double rate, std::size_t requests)
+{
+    return latencyGrid(extendedCells(), rate, requests, "fig16x");
 }
 
 void
@@ -265,6 +266,10 @@ registerDefenseScenarios()
     reg.add("fig16",
             "Open-loop response-latency percentiles per ring defense",
             [] { return fig16LatencyGrid(100000.0, 20000); });
+    reg.add("fig16x",
+            "Open-loop latency percentiles for the extended defense "
+            "cells (offset, quarantine, way-restricted DDIO)",
+            [] { return extendedLatencyGrid(100000.0, 20000); });
 }
 
 } // namespace pktchase::workload

@@ -1,17 +1,25 @@
 /**
  * @file
- * Defense-evaluation harness: assembles testbeds in each of the
- * paper's configurations (No-DDIO / DDIO / adaptive partitioning;
- * vulnerable / randomized rings) and runs the Sec. VII workloads.
+ * Defense-evaluation harness: assembles testbeds for named defense
+ * cells (defense::Cell = ring spec x cache spec, resolved through
+ * defense::Registry) and runs the Sec. VII workloads.
+ *
+ * The grids are data-driven: each figure is a list of spec strings
+ * crossed into scenario cells, so adding a defense point to an
+ * experiment is one list entry, not a new struct and a new switch arm.
+ * Scenario cell names embed the canonical cell spec as their final
+ * path segment ("fig16/ring.partial:1000+cache.ddio"), so a result's
+ * name round-trips through defense::parseCell().
  */
 
 #ifndef PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH
 #define PKTCHASE_WORKLOAD_DEFENSE_EVAL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
-#include "nic/igb_driver.hh"
+#include "defense/registry.hh"
 #include "runtime/scenario.hh"
 #include "workload/io_workloads.hh"
 #include "workload/server.hh"
@@ -19,41 +27,31 @@
 namespace pktchase::workload
 {
 
-/** Cache-side configuration axis of Figs. 14-16. */
-enum class CacheMode : std::uint8_t
-{
-    NoDdio,            ///< DMA to memory, demand fetch on access.
-    Ddio,              ///< Vulnerable baseline.
-    AdaptivePartition, ///< DDIO + the Sec. VII defense.
-};
-
-/** Human-readable mode name. */
-const char *cacheModeName(CacheMode mode);
-
 /**
- * Build a full-size testbed configuration for @p mode with geometry
- * @p geom and the given software ring defense.
+ * Build a full-size testbed configuration with geometry @p geom and
+ * the given defense specs (defense::Registry names).
  */
 testbed::TestbedConfig
-makeDefenseConfig(CacheMode mode, const cache::Geometry &geom,
-                  nic::RingDefense defense = nic::RingDefense::None,
-                  std::uint64_t randomize_interval = 1000);
+makeDefenseConfig(const std::string &cache_spec,
+                  const cache::Geometry &geom,
+                  const std::string &ring_spec = "ring.none");
 
-/** Fig. 14: peak Nginx throughput for one (mode, geometry) cell. */
-ServerMetrics nginxThroughput(CacheMode mode,
+/** Fig. 14: peak Nginx throughput for one (cache spec, geometry) cell. */
+ServerMetrics nginxThroughput(const std::string &cache_spec,
                               const cache::Geometry &geom,
                               std::size_t requests,
                               const ServerConfig &scfg = ServerConfig{});
 
-/** Fig. 15 rows: one I/O workload under one mode. */
-IoMetrics fileCopyMetrics(CacheMode mode, Addr bytes);
-IoMetrics tcpRecvMetrics(CacheMode mode, std::uint64_t packets);
-ServerMetrics nginxMetrics(CacheMode mode, std::size_t requests);
+/** Fig. 15 rows: one I/O workload under one cache spec. */
+IoMetrics fileCopyMetrics(const std::string &cache_spec, Addr bytes);
+IoMetrics tcpRecvMetrics(const std::string &cache_spec,
+                         std::uint64_t packets);
+ServerMetrics nginxMetrics(const std::string &cache_spec,
+                           std::size_t requests);
 
-/** Fig. 16: open-loop latency under one defense configuration. */
+/** Fig. 16: open-loop latency under one defense cell. */
 LatencyResult
-nginxLatency(CacheMode mode, nic::RingDefense defense,
-             std::uint64_t randomize_interval, double rate,
+nginxLatency(const defense::Cell &cell, double rate,
              std::size_t requests,
              const ServerConfig &scfg = ServerConfig{});
 
@@ -64,6 +62,26 @@ nginxLatency(CacheMode mode, nic::RingDefense defense,
 // vs. adaptive at the same LLC size in Fig. 14) share a stream while
 // everything else stays independent.
 // ------------------------------------------------------------------
+
+/** The five defense cells of the paper's Fig. 16. */
+std::vector<defense::Cell> fig16Cells();
+
+/**
+ * Extended defense cells beyond the paper: the intra-page offset and
+ * quarantine ring policies and the way-restricted DDIO cache policy,
+ * alone and crossed.
+ */
+std::vector<defense::Cell> extendedCells();
+
+/**
+ * Generic open-loop latency grid over @p cells, named
+ * "<prefix>/<cell name>". Metrics per cell: p50/p90/p99/p99_9/p99_99
+ * (ms) plus the server metrics. All cells share one workload seed --
+ * defenses are compared under the same arrival process.
+ */
+std::vector<runtime::Scenario>
+latencyGrid(const std::vector<defense::Cell> &cells, double rate,
+            std::size_t requests, const std::string &prefix);
 
 /**
  * Fig. 14 grid: {20, 11, 8} MB LLC x {DDIO, adaptive partitioning}.
@@ -82,18 +100,18 @@ fig15TrafficGrid(Addr copy_bytes = Addr(32) << 20,
                  std::uint64_t packets = 40000,
                  std::size_t requests = 2000);
 
-/**
- * Fig. 16 grid: the five defense configurations under wrk2-style
- * open-loop load. Metrics per cell: p50/p90/p99/p99_9/p99_99 (ms).
- * All cells share one workload seed -- the paper compares defenses
- * under the same arrival process.
- */
+/** Fig. 16 grid: latencyGrid over fig16Cells(), prefix "fig16". */
 std::vector<runtime::Scenario> fig16LatencyGrid(double rate,
                                                 std::size_t requests);
 
+/** Extended grid: latencyGrid over extendedCells(), prefix "fig16x". */
+std::vector<runtime::Scenario> extendedLatencyGrid(double rate,
+                                                   std::size_t requests);
+
 /**
- * Register the defense grids ("fig14", "fig15", "fig16") with the
- * scenario registry so campaign front-ends can run them by name.
+ * Register the defense grids ("fig14", "fig15", "fig16", "fig16x")
+ * with the scenario registry so campaign front-ends can run them by
+ * name.
  */
 void registerDefenseScenarios();
 

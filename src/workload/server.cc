@@ -32,7 +32,6 @@ ServerWorkload::snap() const
         s.cpuReadMisses + s.cpuWriteMisses,
         tb_.hier().memReadBlocks(),
         tb_.hier().memWriteBlocks(),
-        tb_.driver().stats().buffersReallocated,
     };
 }
 
@@ -41,6 +40,8 @@ ServerWorkload::serveOne(Cycles now)
 {
     const std::uint64_t reallocs_before =
         tb_.driver().stats().buffersReallocated;
+    const std::uint64_t swaps_before =
+        tb_.driver().stats().pageSwaps;
 
     // Inbound request through the NIC receive path. The driver's own
     // loads are untimed inside the model, so charge them here from the
@@ -84,10 +85,14 @@ ServerWorkload::serveOne(Cycles now)
     }
     respCursor_ = (respCursor_ + 1) % respPages_;
 
-    // Software ring defenses pay the buffer reallocation path.
+    // Software ring defenses pay the buffer reallocation path; pool
+    // rotations (quarantine) are charged their cheaper swap cost.
     const std::uint64_t reallocs =
         tb_.driver().stats().buffersReallocated - reallocs_before;
+    const std::uint64_t swaps =
+        tb_.driver().stats().pageSwaps - swaps_before;
     t += reallocs * cfg_.reallocPenaltyCycles;
+    t += swaps * cfg_.swapPenaltyCycles;
 
     t += cfg_.baseCyclesPerRequest;
     return t - now;

@@ -42,6 +42,12 @@ struct ServerConfig
     /** Driver-side cost of allocating a fresh rx buffer page. */
     Cycles reallocPenaltyCycles = 2600;
 
+    /**
+     * Driver-side cost of rotating a page through a policy-owned pool
+     * (no allocator round-trip, so far cheaper than a reallocation).
+     */
+    Cycles swapPenaltyCycles = 400;
+
     Addr requestFrameBytes = 256;     ///< Inbound HTTP request size.
     std::uint64_t seed = 29;
 };
@@ -105,7 +111,6 @@ class ServerWorkload
     struct Snapshot
     {
         std::uint64_t cpuAccesses, cpuMisses, memReads, memWrites;
-        std::uint64_t reallocs;
     };
     Snapshot snap() const;
     ServerMetrics metricsSince(const Snapshot &s0, Cycles cycles,

@@ -21,8 +21,12 @@ makeHier(bool ddio, double noise = 0.0)
     HierarchyConfig cfg;
     cfg.timerNoiseSigma = noise;
     cfg.outlierProb = 0.0;
+    std::unique_ptr<InjectionPolicy> policy;
+    if (!ddio)
+        policy = std::make_unique<NoDdioPolicy>();
     return Hierarchy(llc, cfg,
-                     std::make_unique<IdentitySliceHash>(1, 0), ddio);
+                     std::make_unique<IdentitySliceHash>(1, 0),
+                     std::move(policy));
 }
 
 } // namespace
@@ -44,8 +48,9 @@ TEST(Hierarchy, NoiseStaysClassifiable)
     // threshold; this is what makes PRIME+PROBE classification work.
     for (int i = 0; i < 2000; ++i) {
         const Cycles hit = h.timedRead(0x2000, i);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_LT(hit, 130u);
+        }
     }
 }
 
@@ -110,8 +115,7 @@ TEST(Hierarchy, TimedReadMinimumOneCycle)
     cfg.outlierProb = 0.0;
     LlcConfig llc;
     llc.geom = Geometry{1, 64, 4};
-    Hierarchy h(llc, cfg, std::make_unique<IdentitySliceHash>(1, 0),
-                true);
+    Hierarchy h(llc, cfg, std::make_unique<IdentitySliceHash>(1, 0));
     for (int i = 0; i < 1000; ++i)
         EXPECT_GE(h.timedRead(0x1000, i), 1u);
 }

@@ -20,7 +20,6 @@ partitionConfig(unsigned ways = 8)
 {
     LlcConfig cfg;
     cfg.geom = Geometry{1, 64, ways};
-    cfg.adaptivePartition = true;
     cfg.ioLinesMin = 1;
     cfg.ioLinesMax = 3;
     cfg.ioLinesInit = 2;
@@ -34,7 +33,8 @@ Llc
 makePartitioned(unsigned ways = 8)
 {
     return Llc(partitionConfig(ways),
-               std::make_unique<IdentitySliceHash>(1, 0));
+               std::make_unique<IdentitySliceHash>(1, 0),
+               std::make_unique<AdaptivePartitionPolicy>());
 }
 
 Addr
@@ -212,7 +212,8 @@ TEST(PartitionDeath, BadBoundsFatal)
 {
     LlcConfig cfg = partitionConfig();
     cfg.ioLinesMin = 0;
-    EXPECT_EXIT(Llc(cfg, std::make_unique<IdentitySliceHash>(1, 0)),
+    EXPECT_EXIT(Llc(cfg, std::make_unique<IdentitySliceHash>(1, 0),
+                    std::make_unique<AdaptivePartitionPolicy>()),
                 ::testing::ExitedWithCode(1), "partition");
 }
 
@@ -220,6 +221,7 @@ TEST(PartitionDeath, InitOutsideBoundsFatal)
 {
     LlcConfig cfg = partitionConfig();
     cfg.ioLinesInit = 5;
-    EXPECT_EXIT(Llc(cfg, std::make_unique<IdentitySliceHash>(1, 0)),
+    EXPECT_EXIT(Llc(cfg, std::make_unique<IdentitySliceHash>(1, 0),
+                    std::make_unique<AdaptivePartitionPolicy>()),
                 ::testing::ExitedWithCode(1), "ioLinesInit");
 }

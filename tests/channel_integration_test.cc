@@ -110,7 +110,7 @@ TEST(CovertChannel, MultiBufferScalesBandwidth)
 TEST(CovertChannel, AdaptivePartitionClosesChannel)
 {
     testbed::TestbedConfig tcfg;
-    tcfg.llc.adaptivePartition = true;
+    tcfg.cacheDefense = "cache.adaptive";
     testbed::Testbed tb(tcfg);
     ChannelRunConfig cfg;
     cfg.scheme = Scheme::Binary;

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the defense spec grammar and registry: parsing, loud
+ * failure on unknown or malformed specs, parse -> instantiate -> name
+ * round-trips, and custom policy registration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/registry.hh"
+#include "nic/igb_driver.hh"
+
+using namespace pktchase;
+using namespace pktchase::defense;
+
+TEST(SpecParse, FieldsOfValidSpecs)
+{
+    const Spec partial = parseSpec("ring.partial:1000");
+    EXPECT_EQ(partial.domain, "ring");
+    EXPECT_EQ(partial.policy, "partial");
+    EXPECT_TRUE(partial.hasParam);
+    EXPECT_EQ(partial.param, 1000u);
+
+    const Spec ways = parseSpec("cache.ddio-ways:2");
+    EXPECT_EQ(ways.domain, "cache");
+    EXPECT_EQ(ways.policy, "ddio-ways");
+    EXPECT_TRUE(ways.hasParam);
+    EXPECT_EQ(ways.param, 2u);
+
+    const Spec none = parseSpec("ring.none");
+    EXPECT_EQ(none.domain, "ring");
+    EXPECT_EQ(none.policy, "none");
+    EXPECT_FALSE(none.hasParam);
+}
+
+TEST(SpecParse, SyntaxCheckIsNonFatal)
+{
+    EXPECT_TRUE(isSpecSyntax("ring.partial:1000"));
+    EXPECT_TRUE(isSpecSyntax("cache.ddio"));
+    EXPECT_FALSE(isSpecSyntax("partial"));
+    EXPECT_FALSE(isSpecSyntax("ring"));
+    EXPECT_FALSE(isSpecSyntax("ring."));
+    EXPECT_FALSE(isSpecSyntax(".partial"));
+    EXPECT_FALSE(isSpecSyntax("nic.partial"));
+    EXPECT_FALSE(isSpecSyntax("ring.partial:"));
+    EXPECT_FALSE(isSpecSyntax("ring.partial:10x"));
+    EXPECT_FALSE(isSpecSyntax("ring.partial:1:2"));
+    EXPECT_FALSE(isSpecSyntax("ring.partial:99999999999999999999999"));
+    EXPECT_FALSE(isSpecSyntax(""));
+}
+
+TEST(SpecParseDeath, MalformedSpecFatal)
+{
+    EXPECT_EXIT(parseSpec("bogus"), ::testing::ExitedWithCode(1),
+                "malformed spec");
+    EXPECT_EXIT(parseSpec("ring.partial:abc"),
+                ::testing::ExitedWithCode(1), "malformed spec");
+}
+
+TEST(RegistryDeath, UnknownPolicyNamesFailLoudly)
+{
+    EXPECT_EXIT(makeRingPolicy("ring.nope"),
+                ::testing::ExitedWithCode(1), "unknown ring policy");
+    EXPECT_EXIT(makeCachePolicy("cache.nope"),
+                ::testing::ExitedWithCode(1), "unknown cache policy");
+    // Wrong domain for the factory is as loud as an unknown name.
+    EXPECT_EXIT(makeRingPolicy("cache.ddio"),
+                ::testing::ExitedWithCode(1), "not a ring spec");
+    EXPECT_EXIT(makeCachePolicy("ring.none"),
+                ::testing::ExitedWithCode(1), "not a cache spec");
+}
+
+TEST(RegistryDeath, ParamOnParamlessPolicyFatal)
+{
+    EXPECT_EXIT(makeRingPolicy("ring.none:5"),
+                ::testing::ExitedWithCode(1),
+                "does not take a parameter");
+    EXPECT_EXIT(makeCachePolicy("cache.adaptive:1"),
+                ::testing::ExitedWithCode(1),
+                "does not take a parameter");
+}
+
+TEST(RegistryDeath, ZeroParamsRejectedByPolicies)
+{
+    EXPECT_EXIT(makeRingPolicy("ring.partial:0"),
+                ::testing::ExitedWithCode(1), "interval");
+    EXPECT_EXIT(makeRingPolicy("ring.quarantine:0"),
+                ::testing::ExitedWithCode(1), "depth");
+    EXPECT_EXIT(makeCachePolicy("cache.ddio-ways:0"),
+                ::testing::ExitedWithCode(1), "ddio-ways");
+}
+
+TEST(Registry, ContainsKnowsBuiltInsAndRejectsUnknowns)
+{
+    const Registry &reg = Registry::instance();
+    EXPECT_TRUE(reg.contains("ring.none"));
+    EXPECT_TRUE(reg.contains("ring.partial:1000"));
+    EXPECT_TRUE(reg.contains("cache.ddio-ways:2"));
+    EXPECT_FALSE(reg.contains("ring.nope"));
+    EXPECT_FALSE(reg.contains("cache.ddio:2"));  // param not taken
+    EXPECT_FALSE(reg.contains("gibberish"));
+}
+
+TEST(Registry, BuiltInNamesListed)
+{
+    const auto ring = Registry::instance().names("ring");
+    const auto cache = Registry::instance().names("cache");
+    EXPECT_EQ(ring, (std::vector<std::string>{
+        "ring.full", "ring.none", "ring.offset", "ring.partial",
+        "ring.quarantine"}));
+    EXPECT_EQ(cache, (std::vector<std::string>{
+        "cache.adaptive", "cache.ddio", "cache.ddio-ways",
+        "cache.no-ddio"}));
+    for (const auto &n : ring)
+        EXPECT_FALSE(Registry::instance().description(n).empty());
+}
+
+TEST(Registry, ParseInstantiateNameRoundTrip)
+{
+    // Canonicalizing a spec is a fixed point: parse -> instantiate ->
+    // name yields a string that parses and instantiates to itself.
+    const char *specs[] = {
+        "ring.none", "ring.full", "ring.partial", "ring.partial:777",
+        "ring.offset", "ring.quarantine", "ring.quarantine:4",
+        "cache.no-ddio", "cache.ddio", "cache.ddio-ways",
+        "cache.ddio-ways:3", "cache.adaptive",
+    };
+    for (const char *spec : specs) {
+        const std::string canon = canonicalSpec(spec);
+        EXPECT_EQ(canonicalSpec(canon), canon) << spec;
+        EXPECT_TRUE(Registry::instance().contains(canon)) << spec;
+    }
+}
+
+TEST(Registry, DefaultsComeFromThePolicies)
+{
+    // The spec-default interval has a single source of truth in
+    // PartialPeriodicPolicy (and likewise for the quarantine depth).
+    EXPECT_EQ(canonicalSpec("ring.partial"),
+              "ring.partial:" + std::to_string(
+                  nic::PartialPeriodicPolicy::kDefaultInterval));
+    EXPECT_EQ(canonicalSpec("ring.quarantine"),
+              "ring.quarantine:" + std::to_string(
+                  nic::QuarantinePolicy::kDefaultDepth));
+}
+
+TEST(Cell, NameAndParseRoundTrip)
+{
+    const Cell cell{"ring.partial:1000", "cache.ddio"};
+    EXPECT_EQ(cell.name(), "ring.partial:1000+cache.ddio");
+    const Cell back = parseCell(cell.name());
+    EXPECT_EQ(back.ring, "ring.partial:1000");
+    EXPECT_EQ(back.cache, "cache.ddio");
+    EXPECT_EQ(back.name(), cell.name());
+
+    // Defaults become explicit in the canonical name.
+    EXPECT_EQ(Cell{}.name(), "ring.none+cache.ddio");
+    EXPECT_EQ((Cell{"ring.partial", "cache.ddio-ways"}).name(),
+              "ring.partial:1000+cache.ddio-ways:2");
+}
+
+TEST(CellDeath, MalformedCellsFatal)
+{
+    EXPECT_EXIT(parseCell("ring.none"), ::testing::ExitedWithCode(1),
+                "malformed cell");
+    EXPECT_EXIT(parseCell("cache.ddio+ring.none"),
+                ::testing::ExitedWithCode(1), "ring spec");
+}
+
+TEST(Registry, CustomPolicyRegistration)
+{
+    // An experiment can plug in its own policy under a new name; the
+    // registry treats it exactly like a built-in.
+    class EveryOther : public nic::BufferPolicy
+    {
+      public:
+        std::string name() const override { return "ring.every-other"; }
+        void
+        onRecycle(nic::IgbDriver &drv, std::size_t i) override
+        {
+            if (++count_ % 2 == 0)
+                drv.reallocBuffer(i);
+        }
+
+      private:
+        std::uint64_t count_ = 0;
+    };
+
+    Registry::instance().addRing(
+        "every-other", "reallocate every second packet", false,
+        [](const Spec &) { return std::make_unique<EveryOther>(); });
+    EXPECT_TRUE(Registry::instance().contains("ring.every-other"));
+    EXPECT_EQ(canonicalSpec("ring.every-other"), "ring.every-other");
+    EXPECT_EQ(makeRingPolicy("ring.every-other")->name(),
+              "ring.every-other");
+}

@@ -175,7 +175,7 @@ TEST(Integration, ChasingObservesSizesInOrder)
 TEST(Integration, AdaptivePartitionBlindsTheScanner)
 {
     testbed::TestbedConfig tcfg;
-    tcfg.llc.adaptivePartition = true;
+    tcfg.cacheDefense = "cache.adaptive";
     testbed::Testbed tb(tcfg);
     FootprintScanner scanner(tb.hier(), tb.groups(), allCombos(tb),
                              FootprintConfig{});
@@ -194,7 +194,7 @@ TEST(Integration, AdaptivePartitionBlindsTheScanner)
 TEST(Integration, FullRandomizationDegradesSequenceRecovery)
 {
     testbed::TestbedConfig tcfg;
-    tcfg.igb.defense = nic::RingDefense::FullRandom;
+    tcfg.ringDefense = "ring.full";
     testbed::Testbed tb(tcfg);
     auto active = tb.activeCombos();
     if (active.size() > 32)

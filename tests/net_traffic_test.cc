@@ -26,7 +26,7 @@ struct World
 
     World()
         : hier(llcCfg(), hierCfg(),
-               cache::XorFoldSliceHash::twoSlice(), true),
+               cache::XorFoldSliceHash::twoSlice()),
           drv(igbCfg(), phys, hier)
     {
     }

@@ -10,6 +10,7 @@
 
 #include "cache/hierarchy.hh"
 #include "mem/phys_mem.hh"
+#include "nic/buffer_policy.hh"
 #include "nic/igb_driver.hh"
 
 using namespace pktchase;
@@ -26,7 +27,9 @@ struct World
     explicit World(bool ddio = true)
         : phys(Addr(64) << 20, Rng(1)),
           hier(smallLlc(), quietHier(),
-               cache::XorFoldSliceHash::twoSlice(), ddio)
+               cache::XorFoldSliceHash::twoSlice(),
+               ddio ? nullptr
+                    : std::make_unique<cache::NoDdioPolicy>())
     {
     }
 
@@ -173,9 +176,8 @@ TEST(IgbDriver, ConsumedLargeFramePayloadCachedWithoutDdio)
 TEST(IgbDriver, FullRandomDefenseReallocatesEveryPacket)
 {
     World w;
-    IgbConfig cfg = smallRing();
-    cfg.defense = RingDefense::FullRandom;
-    IgbDriver drv(cfg, w.phys, w.hier);
+    IgbDriver drv(smallRing(), w.phys, w.hier,
+                  std::make_unique<FullRandomPolicy>());
     const Addr before = drv.pageBase(0);
     drv.receive(frameOf(64), 0);
     EXPECT_NE(drv.pageBase(0), before);
@@ -185,10 +187,8 @@ TEST(IgbDriver, FullRandomDefenseReallocatesEveryPacket)
 TEST(IgbDriver, PartialDefenseReallocatesOnInterval)
 {
     World w;
-    IgbConfig cfg = smallRing(8);
-    cfg.defense = RingDefense::PartialPeriodic;
-    cfg.randomizeInterval = 10;
-    IgbDriver drv(cfg, w.phys, w.hier);
+    IgbDriver drv(smallRing(8), w.phys, w.hier,
+                  std::make_unique<PartialPeriodicPolicy>(10));
     for (int i = 0; i < 10; ++i)
         drv.receive(frameOf(64), Cycles(i) * 1000);
     EXPECT_EQ(drv.stats().ringRandomizations, 0u);

@@ -40,7 +40,7 @@ TEST(BaselineCpu, TableIIValues)
 TEST(Server, ServeOneTakesTime)
 {
     testbed::Testbed tb(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload server(tb, lightServer());
     const Cycles t = server.serveOne(0);
     EXPECT_GT(t, lightServer().baseCyclesPerRequest);
@@ -49,7 +49,7 @@ TEST(Server, ServeOneTakesTime)
 TEST(Server, ClosedLoopReportsThroughput)
 {
     testbed::Testbed tb(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload server(tb, lightServer());
     const ServerMetrics m = server.closedLoop(300);
     EXPECT_EQ(m.requests, 300u);
@@ -61,18 +61,18 @@ TEST(Server, ClosedLoopReportsThroughput)
 TEST(Server, OpenLoopLatenciesGrowWithLoad)
 {
     testbed::Testbed tb1(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload s1(tb1, lightServer());
     const ServerMetrics peak = s1.closedLoop(400);
     const double peak_rate = peak.kiloRequestsPerSec * 1000.0;
 
     testbed::Testbed tb2(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload s2(tb2, lightServer());
     const LatencyResult light = s2.openLoop(peak_rate * 0.3, 2000);
 
     testbed::Testbed tb3(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload s3(tb3, lightServer());
     const LatencyResult heavy = s3.openLoop(peak_rate * 0.95, 2000);
 
@@ -82,7 +82,7 @@ TEST(Server, OpenLoopLatenciesGrowWithLoad)
 TEST(Server, LatencyPercentilesMonotone)
 {
     testbed::Testbed tb(
-        makeDefenseConfig(CacheMode::Ddio, cache::Geometry::xeonE52660()));
+        makeDefenseConfig("cache.ddio", cache::Geometry::xeonE52660()));
     ServerWorkload server(tb, lightServer());
     const LatencyResult r = server.openLoop(50000, 1500);
     ASSERT_FALSE(r.latenciesMs.empty());
@@ -95,8 +95,8 @@ TEST(DefenseTrends, DdioReducesMemoryTraffic)
 {
     // Fig. 15's headline: DDIO cuts both read and write DRAM traffic
     // for the receive-heavy workload.
-    const IoMetrics no_ddio = tcpRecvMetrics(CacheMode::NoDdio, 3000);
-    const IoMetrics ddio = tcpRecvMetrics(CacheMode::Ddio, 3000);
+    const IoMetrics no_ddio = tcpRecvMetrics("cache.no-ddio", 3000);
+    const IoMetrics ddio = tcpRecvMetrics("cache.ddio", 3000);
     EXPECT_LT(ddio.memWriteBlocks, no_ddio.memWriteBlocks);
     EXPECT_LT(ddio.memReadBlocks, no_ddio.memReadBlocks);
     EXPECT_LT(ddio.llcMissRate, no_ddio.llcMissRate);
@@ -106,9 +106,9 @@ TEST(DefenseTrends, AdaptiveTrafficNearDdio)
 {
     // Sec. VII: "memory traffic of the adaptive partitioning scheme is
     // within 2% of DDIO" -- allow a modest band in the model.
-    const IoMetrics ddio = tcpRecvMetrics(CacheMode::Ddio, 3000);
+    const IoMetrics ddio = tcpRecvMetrics("cache.ddio", 3000);
     const IoMetrics adapt =
-        tcpRecvMetrics(CacheMode::AdaptivePartition, 3000);
+        tcpRecvMetrics("cache.adaptive", 3000);
     EXPECT_LT(static_cast<double>(adapt.memReadBlocks),
               static_cast<double>(ddio.memReadBlocks) * 1.2 + 100.0);
     EXPECT_LT(adapt.llcMissRate, ddio.llcMissRate + 0.1);
@@ -117,9 +117,9 @@ TEST(DefenseTrends, AdaptiveTrafficNearDdio)
 TEST(DefenseTrends, FileCopyTrafficShape)
 {
     const IoMetrics no_ddio =
-        fileCopyMetrics(CacheMode::NoDdio, Addr(4) << 20);
+        fileCopyMetrics("cache.no-ddio", Addr(4) << 20);
     const IoMetrics ddio =
-        fileCopyMetrics(CacheMode::Ddio, Addr(4) << 20);
+        fileCopyMetrics("cache.ddio", Addr(4) << 20);
     EXPECT_LT(ddio.memReadBlocks, no_ddio.memReadBlocks);
 }
 
@@ -129,10 +129,9 @@ TEST(DefenseTrends, AdaptiveThroughputWithinBudget)
     // throughput.
     ServerConfig scfg = lightServer();
     const auto base = nginxThroughput(
-        CacheMode::Ddio, cache::Geometry::xeonE52660(), 1500, scfg);
+        "cache.ddio", cache::Geometry::xeonE52660(), 1500, scfg);
     const auto def = nginxThroughput(
-        CacheMode::AdaptivePartition, cache::Geometry::xeonE52660(),
-        1500, scfg);
+        "cache.adaptive", cache::Geometry::xeonE52660(), 1500, scfg);
     EXPECT_GT(def.kiloRequestsPerSec,
               base.kiloRequestsPerSec * 0.95);
 }
@@ -142,7 +141,7 @@ TEST(DefenseTrends, AdaptiveNeverLeaksAcrossWorkloads)
     // The invariant behind the security claim, checked on a real
     // workload rather than synthetic traffic.
     testbed::Testbed tb(makeDefenseConfig(
-        CacheMode::AdaptivePartition, cache::Geometry::xeonE52660()));
+        "cache.adaptive", cache::Geometry::xeonE52660()));
     ServerWorkload server(tb, lightServer());
     server.closedLoop(500);
     EXPECT_EQ(tb.hier().llc().stats().cpuEvictedByIo, 0u);
@@ -152,10 +151,9 @@ TEST(DefenseTrends, FullRandomizationCostsLatency)
 {
     ServerConfig scfg = lightServer();
     const LatencyResult base = nginxLatency(
-        CacheMode::Ddio, nic::RingDefense::None, 0, 60000, 3000, scfg);
+        {"ring.none", "cache.ddio"}, 60000, 3000, scfg);
     const LatencyResult rnd = nginxLatency(
-        CacheMode::Ddio, nic::RingDefense::FullRandom, 0, 60000, 3000,
-        scfg);
+        {"ring.full", "cache.ddio"}, 60000, 3000, scfg);
     EXPECT_GT(rnd.percentile(99), base.percentile(99));
 }
 
@@ -163,18 +161,31 @@ TEST(DefenseTrends, PartialRandomizationCheaperThanFull)
 {
     ServerConfig scfg = lightServer();
     const LatencyResult full = nginxLatency(
-        CacheMode::Ddio, nic::RingDefense::FullRandom, 0, 60000, 3000,
-        scfg);
+        {"ring.full", "cache.ddio"}, 60000, 3000, scfg);
     const LatencyResult partial = nginxLatency(
-        CacheMode::Ddio, nic::RingDefense::PartialPeriodic, 10000,
-        60000, 3000, scfg);
+        {"ring.partial:10000", "cache.ddio"}, 60000, 3000, scfg);
     EXPECT_LT(partial.percentile(99), full.percentile(99));
 }
 
-TEST(CacheModeName, Strings)
+TEST(GridNames, CellNamesRoundTripThroughParseCell)
 {
-    EXPECT_STREQ(cacheModeName(CacheMode::NoDdio), "no-ddio");
-    EXPECT_STREQ(cacheModeName(CacheMode::Ddio), "ddio");
-    EXPECT_STREQ(cacheModeName(CacheMode::AdaptivePartition),
-                 "adaptive-partitioning");
+    // Every scenario name's final path segment is a canonical defense
+    // cell: parse it back and re-canonicalize; nothing may change.
+    std::vector<runtime::Scenario> all;
+    for (const auto &s : fig14ThroughputGrid(10))
+        all.push_back(s);
+    for (const auto &s : fig15TrafficGrid(Addr(1) << 20, 100, 10))
+        all.push_back(s);
+    for (const auto &s : fig16LatencyGrid(1000.0, 10))
+        all.push_back(s);
+    for (const auto &s : extendedLatencyGrid(1000.0, 10))
+        all.push_back(s);
+    ASSERT_FALSE(all.empty());
+    for (const auto &s : all) {
+        const std::size_t slash = s.name.rfind('/');
+        ASSERT_NE(slash, std::string::npos) << s.name;
+        const std::string cell_name = s.name.substr(slash + 1);
+        const defense::Cell cell = defense::parseCell(cell_name);
+        EXPECT_EQ(cell.name(), cell_name) << s.name;
+    }
 }
