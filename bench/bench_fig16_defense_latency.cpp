@@ -3,7 +3,8 @@
  * Fig. 16: HTTP response tail latency under the candidate defenses,
  * wrk2-style open-loop load, plus the extended defense cells the
  * registry-driven grid adds beyond the paper (intra-page offset,
- * quarantine pool, way-restricted DDIO).
+ * quarantine pool, way-restricted DDIO) and the multi-queue fig16q
+ * cells (the same ring defenses on an RSS NIC at 2 and 4 queues).
  *
  * Paper (140k req/s target): adaptive partitioning costs 3.1% at the
  * 99th percentile while full ring randomization costs 41.8%; partial
@@ -67,12 +68,14 @@ main()
     const double rate = 100000.0;
     const std::size_t requests = 20000;
 
-    // One concatenated sweep: the paper and extended cells share the
-    // worker pool (no barrier between the two tables), and the names
-    // already carry distinct fig16/fig16x prefixes.
+    // One concatenated sweep: the paper, extended, and multi-queue
+    // cells share the worker pool (no barrier between the tables), and
+    // the names already carry distinct fig16/fig16x/fig16q prefixes.
     auto grid = fig16LatencyGrid(rate, requests);
     const auto extended = extendedLatencyGrid(rate, requests);
     grid.insert(grid.end(), extended.begin(), extended.end());
+    const auto multiq = fig16qLatencyGrid(rate, requests);
+    grid.insert(grid.end(), multiq.begin(), multiq.end());
     const auto results = runtime::sweep(grid);
     const double base_p99 = bench::byName(
         results, "fig16/ring.none+cache.ddio").value("p99");
@@ -82,6 +85,11 @@ main()
 
     std::printf("\n  extended cells (p99 vs. the same baseline):\n");
     printTable(results, "fig16x", extendedCells(), base_p99);
+
+    std::printf("\n  multi-queue cells (RSS steering; per-packet-count"
+                " defenses\n  reshuffle each ring N x less often at N"
+                " queues):\n");
+    printTable(results, "fig16q", fig16qCells(), base_p99);
 
     std::printf("  open loop at %.0fk req/s, %zu requests per "
                 "configuration\n", rate / 1000.0, requests);

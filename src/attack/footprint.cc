@@ -68,6 +68,25 @@ FootprintScanner::activityRates(const std::vector<ProbeSample> &samples)
     return rates;
 }
 
+std::vector<std::vector<std::size_t>>
+FootprintScanner::attributeToQueues(
+    const std::vector<std::size_t> &candidates,
+    const std::vector<std::vector<std::size_t>> &queue_combos)
+{
+    std::vector<std::vector<std::size_t>> out(queue_combos.size());
+    for (std::size_t q = 0; q < queue_combos.size(); ++q) {
+        for (std::size_t cand : candidates) {
+            for (std::size_t combo : queue_combos[q]) {
+                if (combo == cand) {
+                    out[q].push_back(cand);
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
 std::vector<std::size_t>
 FootprintScanner::candidateBufferSets(
     const std::vector<ProbeSample> &samples, double idle_cutoff,

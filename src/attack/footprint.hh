@@ -69,6 +69,21 @@ class FootprintScanner
     candidateBufferSets(const std::vector<ProbeSample> &samples,
                         double idle_cutoff, double always_cutoff);
 
+    /**
+     * Partition recovered candidate combos by owning receive queue,
+     * given per-queue ground truth (e.g. Testbed::queueComboSequences
+     * on a multi-queue driver): result[q] lists the candidates that
+     * host at least one of queue q's ring buffers, in candidate order.
+     * A combo backing buffers of several queues appears under each --
+     * on a multi-queue NIC the footprints overlap in the LLC even
+     * though the rings are disjoint, which is exactly what makes the
+     * spy's per-ring reverse engineering harder.
+     */
+    static std::vector<std::vector<std::size_t>>
+    attributeToQueues(
+        const std::vector<std::size_t> &candidates,
+        const std::vector<std::vector<std::size_t>> &queue_combos);
+
     /** The monitored combo ids, in monitor order. */
     const std::vector<std::size_t> &combos() const { return combos_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nic/rss.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::defense
@@ -18,7 +19,8 @@ tryParse(const std::string &text, Spec &out)
     if (dot == std::string::npos || dot == 0)
         return false;
     out.domain = text.substr(0, dot);
-    if (out.domain != "ring" && out.domain != "cache")
+    if (out.domain != "ring" && out.domain != "cache" &&
+        out.domain != "nic")
         return false;
 
     std::string rest = text.substr(dot + 1);
@@ -83,6 +85,20 @@ resolveEntry(const std::vector<Entry> &entries,
               spec_text + "\"");
     }
     return *e;
+}
+
+/**
+ * Whether a parsed nic-domain spec names a usable configuration: the
+ * single validity rule shared by Registry::contains() and the fatal
+ * nicQueues() parser.
+ */
+bool
+validNicSpec(const Spec &spec)
+{
+    return spec.policy == "queues" &&
+        (!spec.hasParam ||
+         (spec.param >= 1 &&
+          spec.param <= nic::RssSteering::kRetaEntries));
 }
 
 } // namespace
@@ -220,6 +236,8 @@ Registry::contains(const std::string &spec_text) const
     Spec spec;
     if (!tryParse(spec_text, spec))
         return false;
+    if (spec.domain == "nic")
+        return validNicSpec(spec);
     if (spec.domain == "ring") {
         const RingEntry *e = findEntry(ring_, spec.policy);
         return e && (!spec.hasParam || e->takesParam);
@@ -277,13 +295,44 @@ canonicalSpec(const std::string &spec_text)
     const Spec spec = parseSpec(spec_text);
     if (spec.domain == "ring")
         return Registry::instance().makeRing(spec_text)->name();
+    if (spec.domain == "nic")
+        return nicSpecOf(nicQueues(spec_text));
     return Registry::instance().makeCache(spec_text)->name();
+}
+
+std::size_t
+nicQueues(const std::string &spec_text)
+{
+    if (spec_text.empty())
+        return nic::kDefaultQueues;
+    const Spec spec = parseSpec(spec_text);
+    if (spec.domain != "nic" || spec.policy != "queues") {
+        fatal("defense::nicQueues: \"" + spec_text +
+              "\" is not a \"nic.queues[:<N>]\" spec");
+    }
+    if (!validNicSpec(spec)) {
+        fatal("defense::nicQueues: queue count in \"" + spec_text +
+              "\" must be in [1, " +
+              std::to_string(nic::RssSteering::kRetaEntries) + "]");
+    }
+    return spec.hasParam ? static_cast<std::size_t>(spec.param)
+                         : nic::kDefaultQueues;
+}
+
+std::string
+nicSpecOf(std::size_t queues)
+{
+    return "nic.queues:" + std::to_string(queues);
 }
 
 std::string
 Cell::name() const
 {
-    return canonicalSpec(ring) + "+" + canonicalSpec(cache);
+    std::string n = canonicalSpec(ring) + "+" + canonicalSpec(cache);
+    const std::size_t q = queues();
+    if (q != nic::kDefaultQueues)
+        n += "+" + nicSpecOf(q);
+    return n;
 }
 
 Cell
@@ -292,17 +341,26 @@ parseCell(const std::string &text)
     const std::size_t plus = text.find('+');
     if (plus == std::string::npos) {
         fatal("defense::parseCell: malformed cell \"" + text +
-              "\" (expected \"<ring spec>+<cache spec>\")");
+              "\" (expected \"<ring spec>+<cache spec>"
+              "[+<nic spec>]\")");
     }
     Cell cell;
     cell.ring = text.substr(0, plus);
-    cell.cache = text.substr(plus + 1);
+    std::string rest = text.substr(plus + 1);
+    const std::size_t plus2 = rest.find('+');
+    if (plus2 != std::string::npos) {
+        cell.cache = rest.substr(0, plus2);
+        cell.nic = rest.substr(plus2 + 1);
+    } else {
+        cell.cache = rest;
+    }
     const Spec ring = parseSpec(cell.ring);
     const Spec cache = parseSpec(cell.cache);
     if (ring.domain != "ring" || cache.domain != "cache") {
         fatal("defense::parseCell: \"" + text + "\" must pair a "
               "ring spec with a cache spec, in that order");
     }
+    nicQueues(cell.nic); // Validates the optional nic part.
     return cell;
 }
 

@@ -4,21 +4,25 @@
  * defense names, parsing, and factories live.
  *
  * A spec is "<domain>.<policy>[:<param>]" where domain is "ring" (a
- * nic::BufferPolicy over the driver's recycling path) or "cache" (a
- * cache::InjectionPolicy over the LLC's DMA path), e.g.:
+ * nic::BufferPolicy over the driver's recycling path), "cache" (a
+ * cache::InjectionPolicy over the LLC's DMA path), or "nic" (NIC
+ * geometry -- today the RSS queue count), e.g.:
  *
  *     ring.none            ring.full          ring.partial:1000
  *     ring.offset          ring.quarantine:16
  *     cache.no-ddio        cache.ddio         cache.ddio-ways:2
- *     cache.adaptive
+ *     cache.adaptive       nic.queues:4
  *
- * A Cell pairs one ring spec with one cache spec
- * ("ring.partial:1000+cache.ddio") and is the unit the defense-eval
- * grids cross: grid builders are data-driven lists of cells, campaign
- * cells are named by Cell::name(), and that name round-trips through
- * parseCell(). Built-in policies are registered by the Registry
- * constructor; experiments add their own with addRing()/addCache()
- * (see src/defense/README.md).
+ * A Cell pairs one ring spec with one cache spec and an optional nic
+ * spec ("ring.partial:1000+cache.ddio+nic.queues:4") and is the unit
+ * the defense-eval grids cross: grid builders are data-driven lists of
+ * cells, campaign cells are named by Cell::name(), and that name
+ * round-trips through parseCell(). The nic part is omitted from the
+ * name at the default queue count (nic::kDefaultQueues), so
+ * single-queue cell names are unchanged from the single-ring model.
+ * Built-in policies are registered by the Registry constructor;
+ * experiments add their own with addRing()/addCache() (see
+ * src/defense/README.md).
  */
 
 #ifndef PKTCHASE_DEFENSE_REGISTRY_HH
@@ -39,8 +43,8 @@ namespace pktchase::defense
 /** A parsed "<domain>.<policy>[:<param>]" spec. */
 struct Spec
 {
-    std::string domain;       ///< "ring" or "cache".
-    std::string policy;       ///< e.g. "partial", "ddio-ways".
+    std::string domain;       ///< "ring", "cache", or "nic".
+    std::string policy;       ///< e.g. "partial", "ddio-ways", "queues".
     bool hasParam = false;
     std::uint64_t param = 0;  ///< Meaningful only when hasParam.
 };
@@ -142,19 +146,44 @@ makeCachePolicy(const std::string &spec);
 std::string canonicalSpec(const std::string &spec);
 
 /**
+ * Queue count named by a "nic.queues[:<N>]" spec; the empty string
+ * means the default (nic::kDefaultQueues), as does an omitted
+ * parameter. Fatal on any other policy, a zero count, or a count the
+ * steering table cannot hold.
+ */
+std::size_t nicQueues(const std::string &spec);
+
+/** Canonical nic spec for a queue count, "nic.queues:<N>". */
+std::string nicSpecOf(std::size_t queues);
+
+/**
  * One defense cell: a software ring defense crossed with a cache-side
- * injection policy. The unit the evaluation grids enumerate.
+ * injection policy, at a NIC queue count. The unit the evaluation
+ * grids enumerate.
  */
 struct Cell
 {
     std::string ring = "ring.none";
     std::string cache = "cache.ddio";
 
-    /** Canonical cell name, "ring.none+cache.ddio". */
+    /** NIC geometry; "" means the default single-queue NIC. */
+    std::string nic = "";
+
+    /** Receive queue count this cell runs at. */
+    std::size_t queues() const { return nicQueues(nic); }
+
+    /**
+     * Canonical cell name: "ring.none+cache.ddio", with
+     * "+nic.queues:<N>" appended only at non-default queue counts so
+     * single-queue names match the single-ring model's.
+     */
     std::string name() const;
 };
 
-/** Parse "<ring spec>+<cache spec>" (canonical Cell order); fatal on error. */
+/**
+ * Parse "<ring spec>+<cache spec>[+<nic spec>]" (canonical Cell
+ * order); fatal on error.
+ */
 Cell parseCell(const std::string &text);
 
 } // namespace pktchase::defense

@@ -26,9 +26,10 @@ maxFrameRate(Addr frame_bytes)
 // ----------------------------------------------------- ConstantStream --
 
 ConstantStream::ConstantStream(Addr frame_bytes, double rate_pps,
-                               std::uint64_t count, nic::Protocol proto)
+                               std::uint64_t count, nic::Protocol proto,
+                               std::uint32_t flow)
     : bytes_(frame_bytes), remaining_(count), unbounded_(count == 0),
-      proto_(proto)
+      proto_(proto), flow_(flow)
 {
     const double line = maxFrameRate(frame_bytes);
     const double rate = (rate_pps <= 0.0) ? line : std::min(rate_pps, line);
@@ -45,6 +46,7 @@ ConstantStream::next(nic::Frame &frame, Cycles &gap)
     }
     frame.bytes = bytes_;
     frame.protocol = proto_;
+    frame.flow = flow_;
     frame.id = nextId_++;
     gap = gap_;
     return true;
@@ -53,12 +55,16 @@ ConstantStream::next(nic::Frame &frame, Cycles &gap)
 // ------------------------------------------------- PoissonBackground --
 
 PoissonBackground::PoissonBackground(double rate_pps, Rng rng,
-                                     std::uint64_t count)
+                                     std::uint64_t count,
+                                     std::uint32_t flows,
+                                     std::uint32_t flow_base)
     : ratePps_(rate_pps), rng_(rng), remaining_(count),
-      unbounded_(count == 0)
+      unbounded_(count == 0), flows_(flows), flowBase_(flow_base)
 {
     if (rate_pps <= 0.0)
         fatal("PoissonBackground requires a positive rate");
+    if (flows_ == 0)
+        fatal("PoissonBackground requires at least one flow");
 }
 
 Addr
@@ -85,6 +91,12 @@ PoissonBackground::next(nic::Frame &frame, Cycles &gap)
     }
     frame.bytes = sampleSize(rng_);
     frame.protocol = nic::Protocol::Udp;
+    // Single-flow backgrounds draw nothing extra, so the size/gap
+    // stream is unchanged from the single-flow model.
+    frame.flow = flows_ > 1
+        ? flowBase_ + static_cast<std::uint32_t>(
+              rng_.nextBounded(flows_))
+        : flowBase_;
     frame.id = nextId_++;
     gap = secondsToCycles(rng_.nextExponential(ratePps_));
     return true;
@@ -122,6 +134,52 @@ ReorderingSource::next(nic::Frame &frame, Cycles &gap)
             frame = second;
         }
     }
+    return true;
+}
+
+// ------------------------------------------------------------- FlowMix --
+
+void
+FlowMix::add(std::unique_ptr<TrafficSource> source)
+{
+    if (!source)
+        fatal("FlowMix::add requires a source");
+    if (primed_)
+        fatal("FlowMix::add: sources must be added before the first "
+              "next()");
+    Lane lane;
+    lane.source = std::move(source);
+    lanes_.push_back(std::move(lane));
+}
+
+void
+FlowMix::refill(Lane &lane)
+{
+    Cycles gap = 0;
+    lane.alive = lane.source->next(lane.pending, gap);
+    if (lane.alive)
+        lane.at += gap;
+}
+
+bool
+FlowMix::next(nic::Frame &frame, Cycles &gap)
+{
+    if (!primed_) {
+        primed_ = true;
+        for (Lane &lane : lanes_)
+            refill(lane);
+    }
+    Lane *earliest = nullptr;
+    for (Lane &lane : lanes_) {
+        if (lane.alive && (!earliest || lane.at < earliest->at))
+            earliest = &lane;
+    }
+    if (!earliest)
+        return false;
+    frame = earliest->pending;
+    gap = earliest->at - last_;
+    last_ = earliest->at;
+    refill(*earliest);
     return true;
 }
 

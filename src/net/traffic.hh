@@ -64,9 +64,12 @@ class ConstantStream : public TrafficSource
      * @param rate_pps     Packets per second; 0 means line rate.
      * @param count        Number of frames; 0 means unbounded.
      * @param proto        Protocol tag for the frames.
+     * @param flow         Flow id of every frame (one connection, so
+     *                     RSS steers the stream to one queue).
      */
     ConstantStream(Addr frame_bytes, double rate_pps, std::uint64_t count,
-                   nic::Protocol proto = nic::Protocol::Unknown);
+                   nic::Protocol proto = nic::Protocol::Unknown,
+                   std::uint32_t flow = 0);
 
     bool next(nic::Frame &frame, Cycles &gap) override;
 
@@ -76,6 +79,7 @@ class ConstantStream : public TrafficSource
     std::uint64_t remaining_;
     bool unbounded_;
     nic::Protocol proto_;
+    std::uint32_t flow_;
     std::uint64_t nextId_ = 0;
 };
 
@@ -91,8 +95,15 @@ class PoissonBackground : public TrafficSource
      * @param rate_pps Mean arrival rate.
      * @param rng      Private generator.
      * @param count    Frames to produce; 0 means unbounded.
+     * @param flows    Flow population: each frame is tagged with one
+     *                 of this many flow ids, drawn uniformly. The
+     *                 default 1 keeps the draw stream identical to the
+     *                 single-flow model (no extra RNG consumption).
+     * @param flow_base First flow id of the population.
      */
-    PoissonBackground(double rate_pps, Rng rng, std::uint64_t count = 0);
+    PoissonBackground(double rate_pps, Rng rng, std::uint64_t count = 0,
+                      std::uint32_t flows = 1,
+                      std::uint32_t flow_base = 1u << 16);
 
     bool next(nic::Frame &frame, Cycles &gap) override;
 
@@ -104,6 +115,8 @@ class PoissonBackground : public TrafficSource
     Rng rng_;
     std::uint64_t remaining_;
     bool unbounded_;
+    std::uint32_t flows_;
+    std::uint32_t flowBase_;
     std::uint64_t nextId_ = 1u << 20;
 };
 
@@ -129,6 +142,40 @@ class ReorderingSource : public TrafficSource
     bool havePending_ = false;
     nic::Frame pending_;
     Cycles pendingGap_ = 0;
+};
+
+/**
+ * Merges several sources into one arrival-ordered stream: each inner
+ * source keeps its own pacing, and next() always emits the earliest
+ * pending frame (stable by add order on ties). This is how multi-flow
+ * mixes reach a multi-queue driver through one TrafficPump -- e.g. a
+ * ConstantStream per victim connection plus a many-flow
+ * PoissonBackground, each tagged with distinct flow ids so RSS spreads
+ * them across receive queues.
+ */
+class FlowMix : public TrafficSource
+{
+  public:
+    /** Add an inner source (owned). Call before the first next(). */
+    void add(std::unique_ptr<TrafficSource> source);
+
+    bool next(nic::Frame &frame, Cycles &gap) override;
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<TrafficSource> source;
+        nic::Frame pending;
+        Cycles at = 0;     ///< Absolute arrival of the pending frame.
+        bool alive = false;
+    };
+
+    /** Pull the next frame of @p lane; marks it dead on exhaustion. */
+    void refill(Lane &lane);
+
+    std::vector<Lane> lanes_;
+    Cycles last_ = 0;
+    bool primed_ = false;
 };
 
 /** Replays an explicit frame list at a fixed rate (web traces, tests). */

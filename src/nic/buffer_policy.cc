@@ -8,9 +8,9 @@ namespace pktchase::nic
 {
 
 void
-FullRandomPolicy::onRecycle(IgbDriver &drv, std::size_t i)
+FullRandomPolicy::onRecycle(RxQueue &q, std::size_t i)
 {
-    drv.reallocBuffer(i);
+    q.reallocBuffer(i);
 }
 
 PartialPeriodicPolicy::PartialPeriodicPolicy(std::uint64_t interval)
@@ -27,25 +27,26 @@ PartialPeriodicPolicy::name() const
 }
 
 void
-PartialPeriodicPolicy::onPacket(IgbDriver &drv, std::uint64_t n)
+PartialPeriodicPolicy::onPacket(RxQueue &q, std::uint64_t n)
 {
     if (n > 0 && n % interval_ == 0)
-        drv.randomizeRing();
+        q.randomizeRing();
 }
 
 void
-RandomOffsetPolicy::onInit(IgbDriver &drv)
+RandomOffsetPolicy::onInit(RxQueue &q)
 {
-    // A private stream: the driver's own Rng (remote-NUMA draws) must
-    // advance exactly as it does under every other policy.
-    rng_ = Rng(drv.config().seed ^ 0xA5F0C3D2E1B49786ull);
+    // A private stream derived from the queue seed: the queue's own
+    // Rng (remote-NUMA draws) must advance exactly as it does under
+    // every other policy.
+    rng_ = Rng(q.seed() ^ 0xA5F0C3D2E1B49786ull);
 }
 
 void
-RandomOffsetPolicy::onRecycle(IgbDriver &drv, std::size_t i)
+RandomOffsetPolicy::onRecycle(RxQueue &q, std::size_t i)
 {
-    drv.setPageOffset(i, rng_.nextBool(0.5)
-        ? drv.config().bufferBytes : 0);
+    q.setPageOffset(i, rng_.nextBool(0.5)
+        ? q.config().bufferBytes : 0);
 }
 
 QuarantinePolicy::QuarantinePolicy(std::uint64_t depth)
@@ -62,29 +63,29 @@ QuarantinePolicy::name() const
 }
 
 void
-QuarantinePolicy::onInit(IgbDriver &drv)
+QuarantinePolicy::onInit(RxQueue &q)
 {
-    const auto frames = drv.phys().allocFrames(
+    const auto frames = q.phys().allocFrames(
         static_cast<std::size_t>(depth_), mem::Owner::Kernel);
     pool_.assign(frames.begin(), frames.end());
 }
 
 void
-QuarantinePolicy::onRecycle(IgbDriver &drv, std::size_t i)
+QuarantinePolicy::onRecycle(RxQueue &q, std::size_t i)
 {
     // FIFO rotation: the just-used page enters at the tail, the oldest
     // quarantined page leaves at the head -- with depth >= 1 the page
     // handed back can never be the one that was just pushed.
     const Addr fresh = pool_.front();
     pool_.pop_front();
-    pool_.push_back(drv.swapPage(i, fresh));
+    pool_.push_back(q.swapPage(i, fresh));
 }
 
 void
-QuarantinePolicy::onTeardown(IgbDriver &drv)
+QuarantinePolicy::onTeardown(RxQueue &q)
 {
     for (Addr page : pool_)
-        drv.phys().freeFrame(page);
+        q.phys().freeFrame(page);
     pool_.clear();
 }
 

@@ -3,23 +3,25 @@
  * Pluggable software ring-buffer defenses (Sec. VI) as a strategy
  * interface over the IGB driver's buffer-recycling path.
  *
- * The driver no longer branches on a defense enum; instead it calls
- * the hooks of one BufferPolicy at fixed points of the receive path:
+ * The driver no longer branches on a defense enum; instead each
+ * receive queue calls the hooks of its own BufferPolicy instance at
+ * fixed points of the receive path (one instance per RxQueue -- a
+ * policy's state is queue-local):
  *
- *  - onInit(drv)        once, after the ring's pages are allocated and
- *                       before the first packet;
- *  - onPacket(drv, n)   at the top of receive(), before the NIC DMA,
- *                       where n is the number of frames received so
- *                       far (0 for the first packet);
- *  - onRecycle(drv, i)  after the driver finished processing
- *                       descriptor i (copy-break reuse or page flip
- *                       already applied), when the buffer is recycled
- *                       back into the ring;
- *  - onTeardown(drv)    in the driver's destructor, before the ring
- *                       pages are freed -- release policy-owned frames
- *                       here.
+ *  - onInit(q)        once, after the queue's pages are allocated and
+ *                     before the first packet;
+ *  - onPacket(q, n)   at the top of receive(), before the NIC DMA,
+ *                     where n is the number of frames this queue has
+ *                     received so far (0 for the first packet);
+ *  - onRecycle(q, i)  after the driver finished processing the
+ *                     queue's descriptor i (copy-break reuse or page
+ *                     flip already applied), when the buffer is
+ *                     recycled back into the ring;
+ *  - onTeardown(q)    in the driver's destructor, before the ring
+ *                     pages are freed -- release policy-owned frames
+ *                     here.
  *
- * Policies mutate the ring only through the driver's policy surface
+ * Policies mutate the ring only through the queue's policy surface
  * (reallocBuffer, randomizeRing, swapPage, setPageOffset), which keeps
  * the reallocation statistics -- and therefore the server model's
  * defense cost accounting -- consistent across policies.
@@ -43,7 +45,7 @@
 namespace pktchase::nic
 {
 
-class IgbDriver;
+class RxQueue;
 
 /** Strategy interface for the software ring defenses. */
 class BufferPolicy
@@ -54,10 +56,10 @@ class BufferPolicy
     /** Canonical registry spec of this instance, e.g. "ring.partial:1000". */
     virtual std::string name() const = 0;
 
-    virtual void onInit(IgbDriver &) {}
-    virtual void onPacket(IgbDriver &, std::uint64_t) {}
-    virtual void onRecycle(IgbDriver &, std::size_t) {}
-    virtual void onTeardown(IgbDriver &) {}
+    virtual void onInit(RxQueue &) {}
+    virtual void onPacket(RxQueue &, std::uint64_t) {}
+    virtual void onRecycle(RxQueue &, std::size_t) {}
+    virtual void onTeardown(RxQueue &) {}
 };
 
 /** Vulnerable baseline: buffers recycle in place forever. */
@@ -72,7 +74,7 @@ class FullRandomPolicy : public BufferPolicy
 {
   public:
     std::string name() const override { return "ring.full"; }
-    void onRecycle(IgbDriver &drv, std::size_t i) override;
+    void onRecycle(RxQueue &q, std::size_t i) override;
 };
 
 /** Sec. VI partial randomization: reshuffle the whole ring every N packets. */
@@ -85,7 +87,7 @@ class PartialPeriodicPolicy : public BufferPolicy
     explicit PartialPeriodicPolicy(std::uint64_t interval = kDefaultInterval);
 
     std::string name() const override;
-    void onPacket(IgbDriver &drv, std::uint64_t n) override;
+    void onPacket(RxQueue &q, std::uint64_t n) override;
 
     std::uint64_t interval() const { return interval_; }
 
@@ -105,8 +107,8 @@ class RandomOffsetPolicy : public BufferPolicy
 {
   public:
     std::string name() const override { return "ring.offset"; }
-    void onInit(IgbDriver &drv) override;
-    void onRecycle(IgbDriver &drv, std::size_t i) override;
+    void onInit(RxQueue &q) override;
+    void onRecycle(RxQueue &q, std::size_t i) override;
 
   private:
     Rng rng_{0};
@@ -130,9 +132,9 @@ class QuarantinePolicy : public BufferPolicy
     explicit QuarantinePolicy(std::uint64_t depth = kDefaultDepth);
 
     std::string name() const override;
-    void onInit(IgbDriver &drv) override;
-    void onRecycle(IgbDriver &drv, std::size_t i) override;
-    void onTeardown(IgbDriver &drv) override;
+    void onInit(RxQueue &q) override;
+    void onRecycle(RxQueue &q, std::size_t i) override;
+    void onTeardown(RxQueue &q) override;
 
     std::uint64_t depth() const { return depth_; }
 

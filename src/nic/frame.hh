@@ -47,6 +47,12 @@ struct Frame
     Protocol protocol = Protocol::Unknown;
     std::uint64_t id = 0;                ///< For tracking in tests.
 
+    /**
+     * Flow id (a stand-in for the 5-tuple): RSS hashes this to pick
+     * the receive queue. All frames of one connection share one flow.
+     */
+    std::uint32_t flow = 0;
+
     /** Number of 64 B cache blocks the frame occupies in a buffer. */
     unsigned
     blocks() const

@@ -5,37 +5,147 @@
 namespace pktchase::nic
 {
 
-IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
-                     cache::Hierarchy &hier,
-                     std::unique_ptr<BufferPolicy> policy)
-    : cfg_(cfg), phys_(phys), hier_(hier), ring_(cfg.ringSize),
-      rng_(cfg.seed),
+namespace
+{
+
+/** Per-queue seed: the driver seed for queue 0 (single-queue streams
+ *  are bit-identical to the single-ring model), splitmix-style
+ *  derivations for the rest. */
+std::uint64_t
+queueSeed(std::uint64_t base, std::size_t q)
+{
+    return base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(q));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ RxQueue --
+
+RxQueue::RxQueue(IgbDriver &drv, std::size_t index,
+                 std::size_t ring_size, std::uint64_t seed,
+                 std::unique_ptr<BufferPolicy> policy)
+    : drv_(drv), index_(index), seed_(seed), ring_(ring_size),
+      rng_(seed),
       policy_(policy ? std::move(policy)
                      : std::make_unique<NonePolicy>())
+{
+}
+
+const IgbConfig &
+RxQueue::config() const
+{
+    return drv_.cfg_;
+}
+
+mem::PhysMem &
+RxQueue::phys()
+{
+    return drv_.phys_;
+}
+
+void
+RxQueue::reallocBuffer(std::size_t i)
+{
+    drv_.phys_.freeFrame(ring_.desc(i).pageBase);
+    ring_.desc(i).pageBase = drv_.phys_.allocFrame(mem::Owner::Kernel);
+    ring_.desc(i).pageOffset = 0;
+    ++stats_.buffersReallocated;
+}
+
+void
+RxQueue::randomizeRing()
+{
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        reallocBuffer(i);
+    ++stats_.ringRandomizations;
+}
+
+Addr
+RxQueue::swapPage(std::size_t i, Addr new_page)
+{
+    if (new_page % pageBytes != 0)
+        fatal("RxQueue::swapPage: page base not page aligned");
+    const Addr old_page = ring_.desc(i).pageBase;
+    ring_.desc(i).pageBase = new_page;
+    ring_.desc(i).pageOffset = 0;
+    ++stats_.pageSwaps;
+    return old_page;
+}
+
+void
+RxQueue::setPageOffset(std::size_t i, Addr offset)
+{
+    if (offset != 0 && offset != drv_.cfg_.bufferBytes)
+        fatal("RxQueue::setPageOffset: offset must name a page half");
+    ring_.desc(i).pageOffset = offset;
+}
+
+// ---------------------------------------------------------- IgbDriver --
+
+IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
+                     cache::Hierarchy &hier,
+                     std::vector<std::unique_ptr<BufferPolicy>> policies)
+    : cfg_(cfg), phys_(phys), hier_(hier),
+      rss_(cfg.queues, cfg.rssKey)
 {
     if (cfg_.bufferBytes != pageBytes / 2)
         fatal("IgbDriver models exactly two 2 KB buffers per page");
     if (cfg_.copyBreak >= cfg_.bufferBytes)
         fatal("IgbDriver: copyBreak must be below the buffer size");
+    if (!policies.empty() && policies.size() != cfg_.queues)
+        fatal("IgbDriver: need one BufferPolicy per queue (or none)");
+
+    queues_.reserve(cfg_.queues);
+    for (std::size_t q = 0; q < cfg_.queues; ++q) {
+        queues_.push_back(std::unique_ptr<RxQueue>(new RxQueue(
+            *this, q, cfg_.ringSize, queueSeed(cfg_.seed, q),
+            policies.empty() ? nullptr : std::move(policies[q]))));
+    }
 
     // One page per descriptor, lower half first: the allocation pattern
     // Sec. III-A describes (page-aligned, half-page-aligned buffers).
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-        ring_.desc(i).pageBase = phys_.allocFrame(mem::Owner::Kernel);
-        ring_.desc(i).pageOffset = 0;
+    // Queue-major order, so queue 0's layout matches the single-ring
+    // model exactly.
+    for (auto &q : queues_) {
+        for (std::size_t i = 0; i < q->ring_.size(); ++i) {
+            q->ring_.desc(i).pageBase =
+                phys_.allocFrame(mem::Owner::Kernel);
+            q->ring_.desc(i).pageOffset = 0;
+        }
     }
 
     // Small recycled pool of skb data pages for copy-break copies.
     skbPages_ = phys_.allocFrames(64, mem::Owner::Kernel);
 
-    policy_->onInit(*this);
+    for (auto &q : queues_)
+        q->policy_->onInit(*q);
+}
+
+IgbDriver::IgbDriver(const IgbConfig &cfg, mem::PhysMem &phys,
+                     cache::Hierarchy &hier,
+                     std::unique_ptr<BufferPolicy> policy)
+    : IgbDriver(cfg, phys, hier,
+                [&]() -> std::vector<std::unique_ptr<BufferPolicy>> {
+                    if (!policy)
+                        return {};
+                    if (cfg.queues > 1) {
+                        fatal("IgbDriver: a multi-queue driver needs "
+                              "one BufferPolicy instance per queue");
+                    }
+                    std::vector<std::unique_ptr<BufferPolicy>> v;
+                    v.push_back(std::move(policy));
+                    return v;
+                }())
+{
 }
 
 IgbDriver::~IgbDriver()
 {
-    policy_->onTeardown(*this);
-    for (std::size_t i = 0; i < ring_.size(); ++i)
-        phys_.freeFrame(ring_.desc(i).pageBase);
+    for (auto &q : queues_)
+        q->policy_->onTeardown(*q);
+    for (auto &q : queues_)
+        for (std::size_t i = 0; i < q->ring_.size(); ++i)
+            phys_.freeFrame(q->ring_.desc(i).pageBase);
     for (Addr page : skbPages_)
         phys_.freeFrame(page);
 }
@@ -46,30 +156,31 @@ IgbDriver::receive(const Frame &frame, Cycles now)
     if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
         fatal("IgbDriver::receive: frame size outside 802.3 limits");
 
-    policy_->onPacket(*this, stats_.framesReceived);
+    RxQueue &q = *queues_[rss_.queueFor(frame.flow)];
+    q.policy_->onPacket(q, q.stats_.framesReceived);
 
-    const std::size_t index = ring_.head();
+    const std::size_t index = q.ring_.head();
 
     // NIC DMA: with DDIO the blocks land in the LLC; without, they go
     // to memory and the driver's reads below demand-fetch them.
-    hier_.dmaWrite(ring_.desc(index).bufferAddr(), frame.bytes, now);
-    ring_.advance();
+    hier_.dmaWrite(q.ring_.desc(index).bufferAddr(), frame.bytes, now);
+    q.ring_.advance();
 
     // Without DDIO the driver sees the frame only after the I/O write
     // has reached memory and the interrupt fired.
     const Cycles when = hier_.ddioEnabled()
         ? now : now + cfg_.ioToDriverLatency;
-    processRx(index, frame, when);
+    processRx(q, index, frame, when);
 
-    ++stats_.framesReceived;
-    return index;
+    ++q.stats_.framesReceived;
+    return globalIndex(q.index_, index);
 }
 
 void
-IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
-                     Cycles now)
+IgbDriver::processRx(RxQueue &q, std::size_t desc_index,
+                     const Frame &frame, Cycles now)
 {
-    RxDescriptor &desc = ring_.desc(desc_index);
+    RxDescriptor &desc = q.ring_.desc(desc_index);
     const Addr buf = desc.bufferAddr();
 
     // Header read plus the unconditional next-block prefetch: this is
@@ -79,12 +190,12 @@ IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
 
     const bool dropped = frame.protocol == Protocol::Unknown;
     if (dropped)
-        ++stats_.framesDropped;
+        ++q.stats_.framesDropped;
 
     if (frame.bytes <= cfg_.copyBreak) {
         // igb_add_rx_frag small path: memcpy into the skb and reuse the
         // buffer as-is (Fig. 3), unless it sits on a remote NUMA node.
-        ++stats_.copyBreakFrames;
+        ++q.stats_.copyBreakFrames;
         const Addr skb = skbPages_[nextSkb_];
         nextSkb_ = (nextSkb_ + 1) % skbPages_.size();
         for (unsigned b = 0; b < frame.blocks(); ++b) {
@@ -94,8 +205,8 @@ IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
                                now);
             }
         }
-        if (rng_.nextBool(cfg_.remoteNumaProb))
-            reallocBuffer(desc_index);
+        if (q.rng_.nextBool(cfg_.remoteNumaProb))
+            q.reallocBuffer(desc_index);
     } else {
         // Large path: the page is attached to the skb as a fragment.
         // The stack touches the payload when it consumes the skb; a
@@ -111,61 +222,61 @@ IgbDriver::processRx(std::size_t desc_index, const Frame &frame,
         }
         // igb_can_reuse_rx_page (Fig. 4): remote pages are reallocated;
         // otherwise flip to the other half of the page.
-        if (rng_.nextBool(cfg_.remoteNumaProb)) {
-            reallocBuffer(desc_index);
+        if (q.rng_.nextBool(cfg_.remoteNumaProb)) {
+            q.reallocBuffer(desc_index);
         } else {
             desc.pageOffset ^= cfg_.bufferBytes;
-            ++stats_.pageFlips;
+            ++q.stats_.pageFlips;
         }
     }
 
-    policy_->onRecycle(*this, desc_index);
-}
-
-void
-IgbDriver::reallocBuffer(std::size_t i)
-{
-    phys_.freeFrame(ring_.desc(i).pageBase);
-    ring_.desc(i).pageBase = phys_.allocFrame(mem::Owner::Kernel);
-    ring_.desc(i).pageOffset = 0;
-    ++stats_.buffersReallocated;
+    q.policy_->onRecycle(q, desc_index);
 }
 
 void
 IgbDriver::randomizeRing()
 {
-    for (std::size_t i = 0; i < ring_.size(); ++i)
-        reallocBuffer(i);
-    ++stats_.ringRandomizations;
+    for (auto &q : queues_)
+        q->randomizeRing();
 }
 
-Addr
-IgbDriver::swapPage(std::size_t i, Addr new_page)
+IgbStats
+IgbDriver::stats() const
 {
-    if (new_page % pageBytes != 0)
-        fatal("IgbDriver::swapPage: page base not page aligned");
-    const Addr old_page = ring_.desc(i).pageBase;
-    ring_.desc(i).pageBase = new_page;
-    ring_.desc(i).pageOffset = 0;
-    ++stats_.pageSwaps;
-    return old_page;
+    IgbStats sum;
+    for (const auto &q : queues_) {
+        const IgbStats &s = q->stats_;
+        sum.framesReceived += s.framesReceived;
+        sum.framesDropped += s.framesDropped;
+        sum.copyBreakFrames += s.copyBreakFrames;
+        sum.pageFlips += s.pageFlips;
+        sum.buffersReallocated += s.buffersReallocated;
+        sum.pageSwaps += s.pageSwaps;
+        sum.ringRandomizations += s.ringRandomizations;
+    }
+    return sum;
 }
 
-void
-IgbDriver::setPageOffset(std::size_t i, Addr offset)
+std::vector<std::size_t>
+IgbDriver::queueGroundTruthSets(std::size_t q) const
 {
-    if (offset != 0 && offset != cfg_.bufferBytes)
-        fatal("IgbDriver::setPageOffset: offset must name a page half");
-    ring_.desc(i).pageOffset = offset;
+    const RxRing &ring = queues_[q]->ring_;
+    std::vector<std::size_t> sets;
+    sets.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        sets.push_back(hier_.llc().globalSet(ring.desc(i).pageBase));
+    return sets;
 }
 
 std::vector<std::size_t>
 IgbDriver::groundTruthSets() const
 {
     std::vector<std::size_t> sets;
-    sets.reserve(ring_.size());
-    for (std::size_t i = 0; i < ring_.size(); ++i)
-        sets.push_back(hier_.llc().globalSet(ring_.desc(i).pageBase));
+    sets.reserve(totalDescriptors());
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        const std::vector<std::size_t> qs = queueGroundTruthSets(q);
+        sets.insert(sets.end(), qs.begin(), qs.end());
+    }
     return sets;
 }
 

@@ -1,0 +1,35 @@
+#include "rss.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::nic
+{
+
+RssSteering::RssSteering(std::size_t queues, std::uint64_t key)
+    : queues_(queues), key_(key)
+{
+    if (queues_ == 0)
+        fatal("RssSteering: queue count must be at least 1");
+    if (queues_ > kRetaEntries)
+        fatal("RssSteering: queue count exceeds the indirection table");
+    // Default RETA layout: round-robin, as drivers program at init.
+    for (std::size_t i = 0; i < kRetaEntries; ++i)
+        reta_[i] = static_cast<std::uint8_t>(i % queues_);
+}
+
+std::uint32_t
+RssSteering::hash(std::uint32_t flow) const
+{
+    // The key is a 64-bit string; window(i) is its 32 bits starting at
+    // bit position i (MSB first), exactly the Toeplitz construction.
+    std::uint32_t h = 0;
+    std::uint64_t window = key_;
+    for (int b = 31; b >= 0; --b) {
+        if ((flow >> b) & 1u)
+            h ^= static_cast<std::uint32_t>(window >> 32);
+        window <<= 1;
+    }
+    return h;
+}
+
+} // namespace pktchase::nic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Receive-side scaling (RSS): flow-to-queue steering for the
+ * multi-queue NIC model.
+ *
+ * Real multi-queue adapters (including the I350 family the paper's
+ * testbed uses) hash the flow tuple with a Toeplitz hash and look the
+ * result up in a 128-entry indirection table to pick a receive queue.
+ * The model reproduces that pipeline over the simulated Frame's flow
+ * id: steering is a pure function of (flow, key, queue count), so the
+ * same flow always lands on the same queue, steering is independent of
+ * packet order and of any driver state, and a large flow population
+ * spreads near-uniformly across queues -- the three properties
+ * tests/nic_rss_test.cc pins.
+ *
+ * The paper's attack deconstructs a single-ring receive path; the spy
+ * reverse-engineers one ring's layout. Multi-queue steering is the
+ * axis the paper leaves open: frames of different flows land in
+ * different rings, so the observable interleaving at each ring is a
+ * flow-dependent subsequence of the wire order.
+ */
+
+#ifndef PKTCHASE_NIC_RSS_HH
+#define PKTCHASE_NIC_RSS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace pktchase::nic
+{
+
+/**
+ * Default queue count. The single source of truth: IgbConfig, the
+ * "nic.queues" spec parser, and the grid builders all read this
+ * constant (the paper's single-ring configuration).
+ */
+constexpr std::size_t kDefaultQueues = 1;
+
+/**
+ * Toeplitz-style flow steering with a RETA indirection table.
+ */
+class RssSteering
+{
+  public:
+    /** First 8 bytes of the well-known Microsoft RSS sample key. */
+    static constexpr std::uint64_t kDefaultKey = 0x6d5a56da255b0ec2ull;
+
+    /** Indirection-table entries (128, as on IGB-class hardware). */
+    static constexpr std::size_t kRetaEntries = 128;
+
+    /**
+     * @param queues Receive queue count; must be >= 1.
+     * @param key    Toeplitz hash key material.
+     */
+    explicit RssSteering(std::size_t queues,
+                         std::uint64_t key = kDefaultKey);
+
+    /** Number of receive queues steered across. */
+    std::size_t queues() const { return queues_; }
+
+    /**
+     * Toeplitz hash of a 32-bit flow id: for every set input bit,
+     * XOR in the 32-bit window of the key starting at that bit.
+     */
+    std::uint32_t hash(std::uint32_t flow) const;
+
+    /** Queue for @p flow: RETA[hash(flow) mod kRetaEntries]. */
+    std::size_t queueFor(std::uint32_t flow) const
+    {
+        return reta_[hash(flow) % kRetaEntries];
+    }
+
+  private:
+    std::size_t queues_;
+    std::uint64_t key_;
+    std::array<std::uint8_t, kRetaEntries> reta_;
+};
+
+} // namespace pktchase::nic
+
+#endif // PKTCHASE_NIC_RSS_HH

@@ -43,14 +43,21 @@ TestbedConfig::reduced()
 Testbed::Testbed(const TestbedConfig &cfg)
     : cfg_(cfg)
 {
+    if (!cfg_.nicSpec.empty())
+        cfg_.igb.queues = defense::nicQueues(cfg_.nicSpec);
     phys_ = std::make_unique<mem::PhysMem>(cfg_.physBytes,
                                            Rng(cfg_.seed));
     hier_ = std::make_unique<cache::Hierarchy>(
         cfg_.llc, cfg_.hier, hashForGeometry(cfg_.llc.geom),
         defense::makeCachePolicy(cfg_.cacheDefense));
+    // One BufferPolicy instance per receive queue: defenses carry
+    // queue-local state (quarantine pools, offset streams).
+    std::vector<std::unique_ptr<nic::BufferPolicy>> policies;
+    policies.reserve(cfg_.igb.queues);
+    for (std::size_t q = 0; q < cfg_.igb.queues; ++q)
+        policies.push_back(defense::makeRingPolicy(cfg_.ringDefense));
     driver_ = std::make_unique<nic::IgbDriver>(
-        cfg_.igb, *phys_, *hier_,
-        defense::makeRingPolicy(cfg_.ringDefense));
+        cfg_.igb, *phys_, *hier_, std::move(policies));
     spySpace_ = std::make_unique<mem::AddressSpace>(
         *phys_, mem::Owner::Attacker);
     builder_ = std::make_unique<attack::EvictionSetBuilder>(
@@ -94,12 +101,34 @@ Testbed::comboGsets() const
 }
 
 std::vector<std::size_t>
+Testbed::ringComboSequence(std::size_t q) const
+{
+    std::vector<std::size_t> out;
+    out.reserve(driver_->ring(q).size());
+    for (std::size_t i = 0; i < driver_->ring(q).size(); ++i)
+        out.push_back(comboOf(driver_->pageBase(i, q)));
+    return out;
+}
+
+std::vector<std::size_t>
 Testbed::ringComboSequence() const
 {
     std::vector<std::size_t> out;
-    out.reserve(driver_->ring().size());
-    for (std::size_t i = 0; i < driver_->ring().size(); ++i)
-        out.push_back(comboOf(driver_->pageBase(i)));
+    out.reserve(driver_->totalDescriptors());
+    for (std::size_t q = 0; q < driver_->numQueues(); ++q) {
+        const std::vector<std::size_t> qs = ringComboSequence(q);
+        out.insert(out.end(), qs.begin(), qs.end());
+    }
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+Testbed::queueComboSequences() const
+{
+    std::vector<std::vector<std::size_t>> out;
+    out.reserve(driver_->numQueues());
+    for (std::size_t q = 0; q < driver_->numQueues(); ++q)
+        out.push_back(ringComboSequence(q));
     return out;
 }
 

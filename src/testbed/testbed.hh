@@ -46,6 +46,15 @@ struct TestbedConfig
     std::string ringDefense = "ring.none";
     std::string cacheDefense = "cache.ddio";
 
+    /**
+     * NIC geometry spec ("nic.queues:4"), resolved through
+     * defense::nicQueues at assembly. The empty default leaves
+     * igb.queues as configured (the paper's single ring); a non-empty
+     * spec overrides it, so grid cells can name their queue count the
+     * same way they name their defenses.
+     */
+    std::string nicSpec = "";
+
     Addr physBytes = Addr(256) << 20; ///< 256 MB of frames.
     std::uint64_t seed = 1;
 
@@ -82,8 +91,17 @@ class Testbed
     /** Global set id of each combo rank, in rank order. */
     std::vector<std::size_t> comboGsets() const;
 
-    /** Ground-truth ring order as combo ranks (one per descriptor). */
+    /**
+     * Ground-truth ring order as combo ranks (one per descriptor),
+     * queue-major across all receive queues.
+     */
     std::vector<std::size_t> ringComboSequence() const;
+
+    /** Ground-truth combo ranks of receive queue @p q's ring only. */
+    std::vector<std::size_t> ringComboSequence(std::size_t q) const;
+
+    /** ringComboSequence(q) for every queue, in queue order. */
+    std::vector<std::vector<std::size_t>> queueComboSequences() const;
 
     /**
      * Combos to which exactly one ring buffer page maps -- the buffers

@@ -1,5 +1,7 @@
 #include "defense_eval.hh"
 
+#include "attack/footprint.hh"
+#include "net/traffic.hh"
 #include "runtime/registry.hh"
 #include "sim/logging.hh"
 
@@ -9,12 +11,14 @@ namespace pktchase::workload
 testbed::TestbedConfig
 makeDefenseConfig(const std::string &cache_spec,
                   const cache::Geometry &geom,
-                  const std::string &ring_spec)
+                  const std::string &ring_spec,
+                  const std::string &nic_spec)
 {
     testbed::TestbedConfig cfg;
     cfg.llc.geom = geom;
     cfg.cacheDefense = cache_spec;
     cfg.ringDefense = ring_spec;
+    cfg.nicSpec = nic_spec;
     // The workload experiments never probe; kill measurement noise so
     // the performance numbers are stable run to run.
     cfg.hier.timerNoiseSigma = 0.0;
@@ -64,7 +68,8 @@ nginxLatency(const defense::Cell &cell, double rate,
              std::size_t requests, const ServerConfig &scfg)
 {
     testbed::Testbed tb(makeDefenseConfig(
-        cell.cache, cache::Geometry::xeonE52660(), cell.ring));
+        cell.cache, cache::Geometry::xeonE52660(), cell.ring,
+        cell.nic));
     ServerWorkload server(tb, scfg);
     return server.openLoop(rate, requests);
 }
@@ -245,6 +250,116 @@ fig16LatencyGrid(double rate, std::size_t requests)
     return latencyGrid(fig16Cells(), rate, requests, "fig16");
 }
 
+std::vector<std::size_t>
+queueSweepCounts()
+{
+    return {nic::kDefaultQueues, 2, 4};
+}
+
+std::vector<defense::Cell>
+fig16qCells()
+{
+    std::vector<defense::Cell> cells;
+    const defense::Cell bases[3] = {
+        {"ring.none", "cache.ddio"},          // vulnerable baseline
+        {"ring.full", "cache.ddio"},          // costliest defense
+        {"ring.partial:1000", "cache.ddio"},  // the paper's sweet spot
+    };
+    for (std::size_t q : queueSweepCounts()) {
+        for (const defense::Cell &base : bases) {
+            defense::Cell cell = base;
+            cell.nic = defense::nicSpecOf(q);
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+std::vector<runtime::Scenario>
+fig16qLatencyGrid(double rate, std::size_t requests)
+{
+    return latencyGrid(fig16qCells(), rate, requests, "fig16q");
+}
+
+std::vector<runtime::Scenario>
+fig7qFootprintGrid(std::uint64_t frames)
+{
+    std::vector<runtime::Scenario> grid;
+    for (std::size_t queues : queueSweepCounts()) {
+        const std::string nic_spec = defense::nicSpecOf(queues);
+        grid.push_back({"fig7q/" + nic_spec,
+            [queues, frames](runtime::ScenarioContext &ctx) {
+                testbed::TestbedConfig cfg =
+                    testbed::TestbedConfig::reduced();
+                cfg.nicSpec = defense::nicSpecOf(queues);
+                // Every queue count scans the same flow mix.
+                const std::uint64_t seed = runtime::splitSeed(
+                    ctx.campaignSeed, runtime::axisSalt(0x7));
+                testbed::Testbed tb(cfg);
+
+                // RSS-spread load: eight constant-rate connections
+                // plus a many-flow Poisson background.
+                auto mix = std::make_unique<net::FlowMix>();
+                for (std::uint32_t f = 0; f < 8; ++f) {
+                    mix->add(std::make_unique<net::ConstantStream>(
+                        768, 40000.0, frames / 10,
+                        nic::Protocol::Udp, 101 + 17 * f));
+                }
+                mix->add(std::make_unique<net::PoissonBackground>(
+                    80000.0, Rng(seed), frames - 8 * (frames / 10),
+                    64));
+                net::TrafficPump pump(tb.eq(), tb.driver(),
+                                      std::move(mix), 1000);
+
+                std::vector<std::size_t> all;
+                for (std::size_t c = 0; c < tb.groups().groups.size();
+                     ++c)
+                    all.push_back(c);
+                attack::FootprintConfig fcfg;
+                fcfg.ways = cfg.llc.geom.ways; // reduced geometry
+                attack::FootprintScanner scanner(
+                    tb.hier(), tb.groups(), all, fcfg);
+                const auto samples =
+                    scanner.scan(tb.eq(), secondsToCycles(0.05));
+                const auto candidates =
+                    attack::FootprintScanner::candidateBufferSets(
+                        samples, 0.05, 0.95);
+                const auto per_queue =
+                    attack::FootprintScanner::attributeToQueues(
+                        candidates, tb.queueComboSequences());
+
+                const auto active = tb.activeCombos();
+                std::size_t recovered = 0;
+                for (std::size_t cand : candidates) {
+                    for (std::size_t a : active) {
+                        if (a == cand) {
+                            ++recovered;
+                            break;
+                        }
+                    }
+                }
+
+                runtime::ScenarioResult r;
+                r.set("queues", static_cast<double>(queues));
+                r.set("active_combos",
+                      static_cast<double>(active.size()));
+                r.set("candidates",
+                      static_cast<double>(candidates.size()));
+                r.set("recall", active.empty() ? 0.0
+                    : static_cast<double>(recovered) /
+                        static_cast<double>(active.size()));
+                double mean_per_queue = 0.0;
+                for (const auto &qc : per_queue)
+                    mean_per_queue += static_cast<double>(qc.size());
+                r.set("mean_queue_candidates", per_queue.empty() ? 0.0
+                    : mean_per_queue /
+                        static_cast<double>(per_queue.size()));
+                return r;
+            }});
+    }
+    return grid;
+}
+
 std::vector<runtime::Scenario>
 extendedLatencyGrid(double rate, std::size_t requests)
 {
@@ -270,6 +385,14 @@ registerDefenseScenarios()
             "Open-loop latency percentiles for the extended defense "
             "cells (offset, quarantine, way-restricted DDIO)",
             [] { return extendedLatencyGrid(100000.0, 20000); });
+    reg.add("fig16q",
+            "Queue-count x defense-cell sweep: open-loop latency of "
+            "the ring defenses on a multi-queue RSS NIC",
+            [] { return fig16qLatencyGrid(100000.0, 4000); });
+    reg.add("fig7q",
+            "Receive-footprint recovery per RSS queue count (the "
+            "Fig. 7 scan against a multi-flow mix)",
+            [] { return fig7qFootprintGrid(4000); });
 }
 
 } // namespace pktchase::workload

@@ -34,7 +34,8 @@ namespace pktchase::workload
 testbed::TestbedConfig
 makeDefenseConfig(const std::string &cache_spec,
                   const cache::Geometry &geom,
-                  const std::string &ring_spec = "ring.none");
+                  const std::string &ring_spec = "ring.none",
+                  const std::string &nic_spec = "");
 
 /** Fig. 14: peak Nginx throughput for one (cache spec, geometry) cell. */
 ServerMetrics nginxThroughput(const std::string &cache_spec,
@@ -108,10 +109,38 @@ std::vector<runtime::Scenario> fig16LatencyGrid(double rate,
 std::vector<runtime::Scenario> extendedLatencyGrid(double rate,
                                                    std::size_t requests);
 
+/** The queue counts the multi-queue grids sweep. */
+std::vector<std::size_t> queueSweepCounts();
+
 /**
- * Register the defense grids ("fig14", "fig15", "fig16", "fig16x")
- * with the scenario registry so campaign front-ends can run them by
- * name.
+ * Multi-queue defense cells: the paper's most interesting ring
+ * defenses crossed with every queueSweepCounts() entry (the
+ * single-queue cells reproduce the paper's numbers; the others ask
+ * what the defense costs once frames are steered across rings).
+ */
+std::vector<defense::Cell> fig16qCells();
+
+/**
+ * fig16q grid: open-loop latency over fig16qCells(). All cells share
+ * one workload seed, so queue counts and defenses are compared under
+ * the same arrival process.
+ */
+std::vector<runtime::Scenario> fig16qLatencyGrid(double rate,
+                                                 std::size_t requests);
+
+/**
+ * fig7q grid: the Fig. 7 receive-footprint scan per queue count. Each
+ * cell pumps an RSS-spread multi-flow mix through a reduced testbed,
+ * scans every page-aligned combo, and reports how much of the
+ * (now multi-ring) buffer footprint the spy recovers: active combos,
+ * recovered candidates, recall, and the per-queue candidate counts.
+ */
+std::vector<runtime::Scenario> fig7qFootprintGrid(std::uint64_t frames);
+
+/**
+ * Register the defense grids ("fig14", "fig15", "fig16", "fig16x",
+ * "fig16q", "fig7q") with the scenario registry so campaign
+ * front-ends can run them by name.
  */
 void registerDefenseScenarios();
 

@@ -54,6 +54,7 @@ ServerWorkload::serveOne(Cycles now)
     nic::Frame req;
     req.bytes = cfg_.requestFrameBytes;
     req.protocol = nic::Protocol::Tcp;
+    req.flow = nextFlow_++;
     tb_.driver().receive(req, now);
     const std::uint64_t drv_accesses =
         llc.cpuReads + llc.cpuWrites - drv_reads0;

@@ -104,6 +104,14 @@ class ServerWorkload
     mem::AddressSpace appSpace_;
     Addr hotBase_ = 0;
     Addr respBase_ = 0;
+
+    /**
+     * Connection counter: each request arrives on its own flow, so
+     * RSS spreads the request stream across every receive queue. At
+     * one queue the flow id is inert and the receive path matches the
+     * single-ring model draw for draw.
+     */
+    std::uint32_t nextFlow_ = 0;
     static constexpr std::size_t respPages_ = 64;
     std::size_t respCursor_ = 0;
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multi-queue campaign stress for the ThreadSanitizer CI job: a
+ * queue-count x defense-cell sweep (queues up to 4) executed on 4
+ * worker threads must be race-free and merge bit-identically to the
+ * single-threaded run. Each worker assembles full multi-queue
+ * testbeds -- per-queue rings, per-queue BufferPolicy instances,
+ * RSS-steered server traffic -- so the refactored NIC layer is
+ * exercised under the campaign runtime's real concurrency, not just
+ * single-threaded unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/sweep.hh"
+#include "workload/defense_eval.hh"
+
+using namespace pktchase;
+using namespace pktchase::workload;
+
+namespace
+{
+
+/** A small but real fig16q-shaped grid: 3 defenses x {1, 4} queues. */
+std::vector<runtime::Scenario>
+stressGrid()
+{
+    std::vector<defense::Cell> cells;
+    for (const char *nic_spec : {"nic.queues:1", "nic.queues:4"}) {
+        for (const char *ring :
+             {"ring.none", "ring.full", "ring.quarantine:8"}) {
+            defense::Cell cell{ring, "cache.ddio", nic_spec};
+            cells.push_back(cell);
+        }
+    }
+    return latencyGrid(cells, 100000.0, 400, "mqstress");
+}
+
+} // namespace
+
+TEST(MultiQueueCampaign, FourThreadMergeBitIdenticalToSerial)
+{
+    runtime::SweepOptions parallel;
+    parallel.threads = 4;
+    parallel.seed = 9;
+    parallel.verbose = false;
+    const auto par = runtime::sweep(stressGrid(), parallel);
+
+    runtime::SweepOptions serial = parallel;
+    serial.threads = 1;
+    const auto ref = runtime::sweep(stressGrid(), serial);
+
+    ASSERT_EQ(par.size(), ref.size());
+    ASSERT_EQ(par.size(), 6u);
+    for (std::size_t i = 0; i < par.size(); ++i) {
+        EXPECT_EQ(par[i].name, ref[i].name);
+        ASSERT_EQ(par[i].metrics.size(), ref[i].metrics.size())
+            << par[i].name;
+        for (std::size_t m = 0; m < par[i].metrics.size(); ++m) {
+            EXPECT_EQ(par[i].metrics[m].first, ref[i].metrics[m].first);
+            // Bit-exact merge: queue count must not leak
+            // nondeterminism into the campaign.
+            EXPECT_EQ(par[i].metrics[m].second,
+                      ref[i].metrics[m].second)
+                << par[i].name << " / " << par[i].metrics[m].first;
+        }
+    }
+
+    // Multi-queue cell names carry the nic part; single-queue names
+    // stay in the single-ring form.
+    EXPECT_EQ(par[0].name, "mqstress/ring.none+cache.ddio");
+    EXPECT_EQ(par[3].name,
+              "mqstress/ring.none+cache.ddio+nic.queues:4");
+}

@@ -37,11 +37,12 @@ TEST(SpecParse, SyntaxCheckIsNonFatal)
 {
     EXPECT_TRUE(isSpecSyntax("ring.partial:1000"));
     EXPECT_TRUE(isSpecSyntax("cache.ddio"));
+    EXPECT_TRUE(isSpecSyntax("nic.queues:4"));
     EXPECT_FALSE(isSpecSyntax("partial"));
     EXPECT_FALSE(isSpecSyntax("ring"));
     EXPECT_FALSE(isSpecSyntax("ring."));
     EXPECT_FALSE(isSpecSyntax(".partial"));
-    EXPECT_FALSE(isSpecSyntax("nic.partial"));
+    EXPECT_FALSE(isSpecSyntax("mac.partial"));
     EXPECT_FALSE(isSpecSyntax("ring.partial:"));
     EXPECT_FALSE(isSpecSyntax("ring.partial:10x"));
     EXPECT_FALSE(isSpecSyntax("ring.partial:1:2"));
@@ -167,6 +168,48 @@ TEST(CellDeath, MalformedCellsFatal)
                 ::testing::ExitedWithCode(1), "ring spec");
 }
 
+TEST(NicSpec, QueueCountsParseAndCanonicalize)
+{
+    // Single source of truth: the parser's default is the IgbConfig
+    // default is nic::kDefaultQueues.
+    EXPECT_EQ(nicQueues(""), nic::kDefaultQueues);
+    EXPECT_EQ(nicQueues("nic.queues"), nic::kDefaultQueues);
+    EXPECT_EQ(nic::IgbConfig{}.queues, nic::kDefaultQueues);
+
+    EXPECT_EQ(nicQueues("nic.queues:4"), 4u);
+    EXPECT_EQ(nicSpecOf(4), "nic.queues:4");
+    EXPECT_EQ(canonicalSpec("nic.queues:4"), "nic.queues:4");
+}
+
+TEST(NicSpecDeath, BadQueueSpecsFatal)
+{
+    EXPECT_EXIT(nicQueues("nic.rings:4"), ::testing::ExitedWithCode(1),
+                "nic.queues");
+    EXPECT_EXIT(nicQueues("nic.queues:0"),
+                ::testing::ExitedWithCode(1), "must be in");
+    EXPECT_EXIT(nicQueues("ring.none"), ::testing::ExitedWithCode(1),
+                "nic.queues");
+}
+
+TEST(Cell, NicPartRoundTripsAndDefaultIsOmitted)
+{
+    // Default queue count: the name is exactly the single-ring form,
+    // so pre-multi-queue golden names remain valid.
+    defense::Cell single{"ring.none", "cache.ddio", "nic.queues:1"};
+    EXPECT_EQ(single.name(), "ring.none+cache.ddio");
+    EXPECT_EQ(single.queues(), 1u);
+
+    defense::Cell multi{"ring.partial", "cache.ddio", "nic.queues:4"};
+    EXPECT_EQ(multi.name(),
+              "ring.partial:1000+cache.ddio+nic.queues:4");
+    EXPECT_EQ(multi.queues(), 4u);
+
+    const defense::Cell back = parseCell(multi.name());
+    EXPECT_EQ(back.nic, "nic.queues:4");
+    EXPECT_EQ(back.queues(), 4u);
+    EXPECT_EQ(back.name(), multi.name());
+}
+
 TEST(Registry, CustomPolicyRegistration)
 {
     // An experiment can plug in its own policy under a new name; the
@@ -176,10 +219,10 @@ TEST(Registry, CustomPolicyRegistration)
       public:
         std::string name() const override { return "ring.every-other"; }
         void
-        onRecycle(nic::IgbDriver &drv, std::size_t i) override
+        onRecycle(nic::RxQueue &q, std::size_t i) override
         {
             if (++count_ % 2 == 0)
-                drv.reallocBuffer(i);
+                q.reallocBuffer(i);
         }
 
       private:
