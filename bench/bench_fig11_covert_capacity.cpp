@@ -1,7 +1,9 @@
 /**
  * @file
  * Fig. 11: covert channel bandwidth and error rate for binary and
- * ternary encodings across probe rates {7, 14, 28} kHz.
+ * ternary encodings across probe rates {7, 14, 28} kHz, swept as a
+ * parallel campaign over the fig11 scenario grid (each cell assembles
+ * its own testbed and probe-engine spy).
  *
  * Paper: bandwidth is flat across probe rates (line-rate bound,
  * ~2 kbps binary / ~3.1 kbps ternary at 256 packets/symbol on 1 GbE)
@@ -12,10 +14,10 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "channel/capacity.hh"
+#include "runtime/sweep.hh"
+#include "workload/attack_eval.hh"
 
 using namespace pktchase;
-using namespace pktchase::channel;
 
 int
 main()
@@ -25,26 +27,23 @@ main()
                   "~2-3.1 kbps bandwidth; error falls with probe "
                   "rate; binary < ternary error)");
 
+    const auto results =
+        runtime::sweep(workload::fig11CovertGrid(300));
+
     std::printf("  %-10s %-12s %14s %12s %10s\n", "encoding",
                 "probe rate", "bandwidth", "error rate", "received");
     bench::rule(66);
-
-    for (Scheme scheme : {Scheme::Binary, Scheme::Ternary}) {
-        for (double khz : {7.0, 14.0, 28.0}) {
-            testbed::Testbed tb(testbed::TestbedConfig{});
-            ChannelRunConfig cfg;
-            cfg.scheme = scheme;
-            cfg.probeRateHz = khz * 1000.0;
-            cfg.nSymbols = 300;
-            // Background cache noise from unrelated processes: this is
-            // what makes long probe intervals error-prone (Sec. IV-b).
-            cfg.cacheNoiseHz = 20000.0;
-            cfg.cacheNoiseBatch = 48;
-            const ChannelMeasurement m = runCovertChannel(tb, cfg);
-            std::printf("  %-10s %9.0f kHz %11.0f bps %11.2f%% %10zu\n",
-                        scheme == Scheme::Binary ? "binary" : "ternary",
-                        khz, m.bandwidthBps, m.errorRate * 100.0,
-                        m.received);
+    for (const char *enc : {"binary", "ternary"}) {
+        for (int khz : {7, 14, 28}) {
+            char name[64];
+            std::snprintf(name, sizeof(name), "fig11/%s/%dkhz", enc,
+                          khz);
+            const runtime::ScenarioResult &r =
+                bench::byName(results, name);
+            std::printf("  %-10s %9d kHz %11.0f bps %11.2f%% %10.0f\n",
+                        enc, khz, r.value("bandwidth_bps"),
+                        r.value("error_rate") * 100.0,
+                        r.value("received"));
         }
     }
     bench::rule(66);

@@ -34,7 +34,7 @@ main()
         if (combos.size() > 24)
             combos.resize(24);
         attack::SizeDetectorConfig cfg;
-        cfg.ways = tb.config().llc.geom.ways;
+        cfg.probe.ways = tb.config().llc.geom.ways;
         attack::SizeDetector det(tb.hier(), tb.groups(), combos, cfg);
         net::TrafficPump pump(
             tb.eq(), tb.driver(),

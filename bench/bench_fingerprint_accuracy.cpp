@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The fig20 fingerprint grid as a performance bench: closed-world
+ * accuracy per defense cell and NIC queue count (paper Sec. V: 89.7%
+ * with DDIO, 86.5% without, and ~chance once a real defense is on),
+ * plus the probe-engine throughput that produced it.
+ *
+ * Emits BENCH_fingerprint.json -- accuracy and simulated probe rounds
+ * per cell plus host-side probe rounds/sec -- so the attacker
+ * pipeline's performance trajectory is tracked across commits.
+ *
+ * Threads default to the machine; set PKTCHASE_THREADS to pin.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "runtime/sweep.hh"
+#include "workload/attack_eval.hh"
+
+using namespace pktchase;
+
+int
+main()
+{
+    bench::banner("Fig. 20",
+                  "Closed-world fingerprint accuracy x defense cell x "
+                  "queue count (paper baseline: 89.7% DDIO / 86.5% "
+                  "no-DDIO; defenses push toward 20% chance)");
+
+    // Wrap each cell to record its wall time. The side array is
+    // indexed by grid position, written once per cell by whichever
+    // worker runs it, so the ScenarioResults stay deterministic while
+    // the bench still gets per-cell host timings.
+    std::vector<runtime::Scenario> grid =
+        workload::fig20FingerprintGrid();
+    std::vector<double> wall(grid.size(), 0.0);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        auto inner = grid[i].run;
+        grid[i].run = [inner, i, &wall](runtime::ScenarioContext &ctx) {
+            const auto t0 = std::chrono::steady_clock::now();
+            runtime::ScenarioResult r = inner(ctx);
+            wall[i] = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+            return r;
+        };
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runtime::sweep(grid);
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    std::printf("  %-44s %9s %13s %12s\n", "cell", "accuracy",
+                "probe rounds", "rounds/sec");
+    bench::rule(82);
+    double total_rounds = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const runtime::ScenarioResult &r = results[i];
+        const double rounds = r.value("probe_rounds");
+        total_rounds += rounds;
+        std::printf("  %-44s %8.1f%% %13.0f %12.0f\n", r.name.c_str(),
+                    r.value("accuracy") * 100.0, rounds,
+                    wall[i] > 0.0 ? rounds / wall[i] : 0.0);
+    }
+    bench::rule(82);
+    std::printf("  %zu cells in %.2f s host time; %.0f probe "
+                "rounds/sec aggregate\n",
+                results.size(), elapsed,
+                elapsed > 0.0 ? total_rounds / elapsed : 0.0);
+
+    FILE *json = std::fopen("BENCH_fingerprint.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write BENCH_fingerprint.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"fingerprint_accuracy\",\n");
+    std::fprintf(json, "  \"elapsed_sec\": %.6f,\n", elapsed);
+    std::fprintf(json, "  \"probe_rounds_per_sec\": %.1f,\n",
+                 elapsed > 0.0 ? total_rounds / elapsed : 0.0);
+    std::fprintf(json, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const runtime::ScenarioResult &r = results[i];
+        const double rounds = r.value("probe_rounds");
+        std::fprintf(json,
+                     "    {\"name\": \"%s\", \"accuracy\": %.6f, "
+                     "\"probe_rounds\": %.0f, "
+                     "\"probe_rounds_per_sec\": %.1f}%s\n",
+                     r.name.c_str(), r.value("accuracy"), rounds,
+                     wall[i] > 0.0 ? rounds / wall[i] : 0.0,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("  wrote BENCH_fingerprint.json\n");
+    return 0;
+}

@@ -19,6 +19,7 @@
 
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
+#include "workload/attack_eval.hh"
 #include "workload/defense_eval.hh"
 
 using namespace pktchase;
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     workload::registerDefenseScenarios();
+    workload::registerAttackScenarios();
 
     if (argc > 1) {
         const std::string name = argv[1];

@@ -1,137 +1,61 @@
 #include "chasing.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace pktchase::attack
 {
 
-namespace
+ProbeEngineConfig
+ChasingMonitor::engineConfig(const ChasingConfig &cfg)
 {
-
-/** Build the monitor for one ring slot's page. */
-std::vector<EvictionSet>
-slotSets(const ComboGroups &groups, std::size_t combo, unsigned ways,
-         unsigned first_block, unsigned size_blocks, bool lower_only)
-{
-    std::vector<EvictionSet> sets;
-    sets.reserve(2 * size_blocks);
-    const EvictionSet base = groups.evictionSetFor(combo, ways);
-    for (unsigned b = first_block; b < first_block + size_blocks; ++b)
-        sets.push_back(base.atBlock(b));
-    if (!lower_only) {
-        const unsigned half = static_cast<unsigned>(blocksPerPage / 2);
-        for (unsigned b = first_block; b < first_block + size_blocks;
-             ++b) {
-            sets.push_back(base.atBlock(half + b));
-        }
-    }
-    return sets;
+    ProbeEngineConfig ecfg;
+    ecfg.probe = cfg.probe;
+    ecfg.sizeBlocks = cfg.sizeBlocks;
+    ecfg.firstBlock = cfg.firstBlock;
+    ecfg.lowerHalfOnly = cfg.lowerHalfOnly;
+    ecfg.probeInterval = cfg.probeInterval;
+    ecfg.resyncTimeout = cfg.resyncTimeout;
+    return ecfg;
 }
-
-} // namespace
 
 ChasingMonitor::ChasingMonitor(cache::Hierarchy &hier,
                                const ComboGroups &groups,
                                std::vector<std::size_t> combo_seq,
                                const ChasingConfig &cfg)
-    : hier_(hier), comboSeq_(std::move(combo_seq)), cfg_(cfg)
+    : engine_(hier, engineConfig(cfg)), queues_(1)
 {
-    if (comboSeq_.empty())
-        panic("ChasingMonitor needs a nonempty sequence");
-    slotMonitors_.reserve(comboSeq_.size());
-    for (std::size_t combo : comboSeq_) {
-        slotMonitors_.emplace_back(
-            hier_,
-            slotSets(groups, combo, cfg_.ways, cfg_.firstBlock,
-                     cfg_.sizeBlocks, cfg_.lowerHalfOnly),
-            cfg_.missThreshold);
-    }
+    engine_.addChaseStream(groups, std::move(combo_seq));
+    engine_.attach(observer_);
 }
 
-unsigned
-ChasingMonitor::classify(const ProbeSample &s, bool &second_half) const
+ChasingMonitor::ChasingMonitor(
+    cache::Hierarchy &hier, const ComboGroups &groups,
+    std::vector<std::vector<std::size_t>> queue_seqs,
+    const ChasingConfig &cfg)
+    : engine_(hier, engineConfig(cfg)), queues_(queue_seqs.size())
 {
-    const unsigned n = cfg_.sizeBlocks;
-    // A packet fires the first monitored row (block 0, or block 1 in
-    // covert mode where the prefetch guarantees it) of whichever half
-    // the driver handed to the NIC; size class is the highest active
-    // block in that half.
-    auto class_of = [&](unsigned base) -> unsigned {
-        if (!s.active[base])
-            return 0;
-        unsigned cls = cfg_.firstBlock + 1;
-        for (unsigned b = 1; b < n; ++b)
-            if (s.active[base + b])
-                cls = cfg_.firstBlock + b + 1;
-        return cls;
-    };
-    const unsigned lower = class_of(0);
-    const unsigned upper =
-        (s.active.size() >= 2 * n) ? class_of(n) : 0;
-    if (lower >= upper) {
-        second_half = false;
-        return lower;
-    }
-    second_half = true;
-    return upper;
+    if (queue_seqs.empty())
+        panic("ChasingMonitor needs at least one queue sequence");
+    for (auto &seq : queue_seqs)
+        engine_.addChaseStream(groups, std::move(seq));
+    engine_.attach(observer_);
 }
 
 ChaseResult
 ChasingMonitor::chase(EventQueue &eq, Cycles horizon)
 {
+    engine_.run(eq, horizon);
+
     ChaseResult result;
-    std::size_t slot = 0;
-    Cycles last_activity = eq.now();
-
-    // Prime every slot once; from then on each probe doubles as the
-    // re-prime of its sets, so evidence of a packet that lands before
-    // the spy reaches its buffer survives until the probe arrives
-    // (stale by at most one ring lap).
-    for (auto &m : slotMonitors_)
-        m.primeAll(eq.now());
-
-    // A packet's DMA can land mid-probe, splitting its evidence across
-    // two rounds (early rows in this round, late rows -- already
-    // re-primed -- only via the previous round). Activity is therefore
-    // accumulated across the probes of one slot visit and classified
-    // once the block-0 row has fired.
-    std::vector<std::uint8_t> accum(slotMonitors_[0].size(), 0);
-
-    std::function<void()> step = [&] {
-        ProbeSample s = slotMonitors_[slot].probeAll(eq.now());
-        ++result.probes;
-        for (std::size_t i = 0; i < accum.size(); ++i)
-            accum[i] |= s.active[i];
-        ProbeSample merged;
-        merged.active = accum;
-        bool second_half = false;
-        const unsigned cls = classify(merged, second_half);
-        if (cls > 0) {
-            result.packets.push_back(
-                PacketObservation{eq.now(), cls, second_half, slot});
-            last_activity = eq.now();
-            slot = (slot + 1) % slotMonitors_.size();
-            std::fill(accum.begin(), accum.end(), 0);
-        } else if (eq.now() - last_activity > cfg_.resyncTimeout) {
-            // Lost the ring position: park here until the ring wraps
-            // and this buffer fills again.
-            ++result.outOfSyncEvents;
-            last_activity = eq.now();
-            std::fill(accum.begin(), accum.end(), 0);
-        }
-        // The next probe cannot start before this one's loads retired:
-        // the probe cost is what lets fast senders outrun the spy
-        // (the Fig. 12c/d error jump at the top rate).
-        const Cycles next =
-            std::max(eq.now() + cfg_.probeInterval, s.end);
-        if (next <= horizon)
-            eq.schedule(next, step);
-    };
-    eq.schedule(eq.now(), step);
-    eq.runUntil(horizon);
-    result.finalSlot = slot;
+    result.packets = observer_.packets();
+    result.finalSlots.reserve(queues_);
+    for (std::size_t q = 0; q < queues_; ++q) {
+        const ProbeEngine::StreamStats &s = engine_.stats(q);
+        result.outOfSyncEvents += s.outOfSyncEvents;
+        result.probes += s.probes;
+        result.finalSlots.push_back(s.cursor);
+    }
+    result.finalSlot = result.finalSlots[0];
     return result;
 }
 

@@ -10,6 +10,11 @@
  * blocks (1..4+). Losing a packet desynchronizes the spy from the ring;
  * it then parks on the current buffer until the ring wraps around and
  * fills it again (one out-of-sync event, Fig. 12c).
+ *
+ * ChasingMonitor is the chase front-end over attack::ProbeEngine: one
+ * chase stream per receive queue, observations merged arrival-ordered.
+ * On a single-queue NIC it reproduces the paper's single-ring chase
+ * exactly.
  */
 
 #ifndef PKTCHASE_ATTACK_CHASING_HH
@@ -18,7 +23,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "attack/prime_probe.hh"
+#include "attack/probe_engine.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -28,8 +33,8 @@ namespace pktchase::attack
 /** Chasing parameters. */
 struct ChasingConfig
 {
-    Cycles missThreshold = 130;
-    unsigned ways = 20;
+    /** Shared miss-threshold/ways calibration. */
+    ProbeParams probe;
 
     /** Blocks probed per half-page (4 -> size classes 1..4+). */
     unsigned sizeBlocks = 4;
@@ -60,31 +65,26 @@ struct ChasingConfig
     Cycles resyncTimeout = 5'000'000;
 };
 
-/** One observed packet. */
-struct PacketObservation
-{
-    Cycles when = 0;
-    unsigned sizeClass = 0;  ///< 1..sizeBlocks ("4" means >= 4 blocks).
-    bool secondHalf = false; ///< Landed in the upper half of the page.
-    std::size_t slot = 0;    ///< Ring slot the spy attributed it to.
-};
-
-/** Outcome of a chase. */
+/** Outcome of a chase (all queues merged). */
 struct ChaseResult
 {
+    /** Observed packets, arrival-ordered across every chased queue. */
     std::vector<PacketObservation> packets;
-    std::uint64_t outOfSyncEvents = 0;
-    std::uint64_t probes = 0;
-    std::size_t finalSlot = 0; ///< Where the spy ended up.
+    std::uint64_t outOfSyncEvents = 0; ///< Summed over queues.
+    std::uint64_t probes = 0;          ///< Summed over queues.
+    std::size_t finalSlot = 0;  ///< Where queue 0's cursor ended up.
+    std::vector<std::size_t> finalSlots; ///< Per-queue final cursors.
 };
 
 /**
- * Follows the recovered buffer sequence and records packet sizes.
+ * Follows the recovered buffer sequence(s) and records packet sizes.
  */
 class ChasingMonitor
 {
   public:
     /**
+     * Single-queue chase (the paper's configuration).
+     *
      * @param hier      Timing oracle.
      * @param groups    Combo partition of the spy pool.
      * @param combo_seq Recovered ring order as combo ids (one entry
@@ -96,27 +96,28 @@ class ChasingMonitor
                    const ChasingConfig &cfg);
 
     /**
+     * Multi-queue chase: one cursor per receive queue, each following
+     * that queue's recovered ring order and resyncing independently.
+     */
+    ChasingMonitor(cache::Hierarchy &hier, const ComboGroups &groups,
+                   std::vector<std::vector<std::size_t>> queue_seqs,
+                   const ChasingConfig &cfg);
+
+    /**
      * Chase packets on @p eq until @p horizon (traffic pumps must
-     * already be scheduled).
+     * already be scheduled). Call once per monitor.
      */
     ChaseResult chase(EventQueue &eq, Cycles horizon);
 
+    /** The underlying engine (per-queue stats, observer attachment). */
+    ProbeEngine &engine() { return engine_; }
+
   private:
-    cache::Hierarchy &hier_;
-    std::vector<std::size_t> comboSeq_;
-    ChasingConfig cfg_;
+    ProbeEngine engine_;
+    ChasingObserver observer_;
+    std::size_t queues_ = 0;
 
-    /**
-     * Per ring slot: one PrimeProbeMonitor over 2*sizeBlocks sets
-     * (blocks 0..3 of each half-page).
-     */
-    std::vector<PrimeProbeMonitor> slotMonitors_;
-
-    /**
-     * Classify a probe round: 0 = no packet; otherwise the size class,
-     * with @p second_half set when the upper half fired.
-     */
-    unsigned classify(const ProbeSample &s, bool &second_half) const;
+    static ProbeEngineConfig engineConfig(const ChasingConfig &cfg);
 };
 
 } // namespace pktchase::attack

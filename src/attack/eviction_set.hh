@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "attack/probe_params.hh"
 #include "cache/hierarchy.hh"
 #include "mem/address_space.hh"
 #include "sim/types.hh"
@@ -75,7 +76,8 @@ struct ComboGroups
 struct BuilderConfig
 {
     std::size_t poolPages = 16384;   ///< Pages the spy maps (64 MB).
-    Cycles missThreshold = 130;      ///< Latency cut between hit/miss.
+    /** Latency cut between hit/miss (the shared calibration). */
+    Cycles missThreshold = ProbeParams::kMissThreshold;
     unsigned conflictVotes = 3;      ///< Majority votes per timing test.
 };
 

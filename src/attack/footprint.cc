@@ -26,8 +26,8 @@ FootprintScanner::FootprintScanner(cache::Hierarchy &hier,
                                    std::vector<std::size_t> combos,
                                    const FootprintConfig &cfg)
     : hier_(hier), combos_(std::move(combos)), cfg_(cfg),
-      monitor_(hier, makeSets(groups, combos_, cfg.ways),
-               cfg.missThreshold)
+      monitor_(hier, makeSets(groups, combos_, cfg.probe.ways),
+               cfg.probe.missThreshold)
 {
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "attack/prime_probe.hh"
+#include "attack/probe_params.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -26,8 +27,9 @@ namespace pktchase::attack
 struct FootprintConfig
 {
     double probeRateHz = 8000;   ///< Full probe rounds per second.
-    Cycles missThreshold = 130;
-    unsigned ways = 20;          ///< Eviction set size to use.
+
+    /** Shared miss-threshold/ways calibration. */
+    ProbeParams probe;
 };
 
 /**

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The shared PRIME+PROBE calibration parameters.
+ *
+ * Every attacker component times loads against the same hit/miss
+ * latency cut and builds eviction sets of the same associativity, so
+ * the paper's calibration (Sec. III-B: a 130-cycle threshold on the
+ * 20-way E5-2660 LLC) lives in exactly one place instead of being
+ * copy-pasted into every component's config struct. Experiments on
+ * reduced geometries override `ways` with the geometry's value.
+ */
+
+#ifndef PKTCHASE_ATTACK_PROBE_PARAMS_HH
+#define PKTCHASE_ATTACK_PROBE_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace pktchase::attack
+{
+
+/** Timing threshold and eviction-set size shared by every probe. */
+struct ProbeParams
+{
+    /** Calibrated hit/miss latency cut (Sec. III-B). */
+    static constexpr Cycles kMissThreshold = 130;
+
+    /** Associativity of the paper's E5-2660 LLC. */
+    static constexpr unsigned kLlcWays = 20;
+
+    Cycles missThreshold = kMissThreshold;
+    unsigned ways = kLlcWays;
+};
+
+} // namespace pktchase::attack
+
+#endif // PKTCHASE_ATTACK_PROBE_PARAMS_HH

@@ -52,9 +52,9 @@ Sequencer::run(EventQueue &eq)
     std::vector<EvictionSet> sets;
     sets.reserve(combos_.size());
     for (std::size_t c : combos_)
-        sets.push_back(groups_.evictionSetFor(c, cfg_.ways));
+        sets.push_back(groups_.evictionSetFor(c, cfg_.probe.ways));
     PrimeProbeMonitor monitor(hier_, std::move(sets),
-                              cfg_.missThreshold);
+                              cfg_.probe.missThreshold);
 
     // GET_CLEAN_SAMPLES: resample after swapping always-miss sets for
     // the second block of the same page (same combo group, offset 64).
@@ -67,7 +67,7 @@ Sequencer::run(EventQueue &eq)
         for (std::size_t i = 0; i < rates.size(); ++i) {
             if (rates[i] > cfg_.activityCutoff) {
                 monitor.replaceSet(
-                    i, groups_.evictionSetFor(combos_[i], cfg_.ways)
+                    i, groups_.evictionSetFor(combos_[i], cfg_.probe.ways)
                            .atBlock(1));
                 ++result.replacedSets;
                 replaced = true;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "attack/prime_probe.hh"
+#include "attack/probe_params.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -35,8 +36,9 @@ struct SequencerConfig
 {
     std::size_t nSamples = 100000;   ///< Probe rounds to collect.
     double probeRateHz = 8000;       ///< Rounds per second.
-    Cycles missThreshold = 130;
-    unsigned ways = 20;
+
+    /** Shared miss-threshold/ways calibration. */
+    ProbeParams probe;
 
     /** Fraction of active rounds above which a set is "always miss". */
     double activityCutoff = 0.95;

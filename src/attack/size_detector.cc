@@ -5,63 +5,95 @@
 namespace pktchase::attack
 {
 
+SizeClassifier::SizeClassifier(unsigned rows, std::size_t combos,
+                               std::size_t stream)
+    : stream_(stream),
+      hits_(rows, std::vector<std::uint64_t>(combos, 0))
+{
+}
+
+void
+SizeClassifier::onObservation(const ProbeObservation &obs)
+{
+    if (obs.kind != ProbeKind::Sample || obs.stream != stream_)
+        return;
+    if (obs.buffer >= hits_.size() ||
+        obs.activeCount != hits_[obs.buffer].size()) {
+        panic("SizeClassifier: observation does not match the rows");
+    }
+    for (std::size_t c = 0; c < obs.activeCount; ++c)
+        hits_[obs.buffer][c] += obs.active[c];
+    // One engine round probes every row once; count it when row 0
+    // reports.
+    if (obs.buffer == 0)
+        ++rounds_;
+}
+
+std::vector<std::vector<double>>
+SizeClassifier::rates() const
+{
+    std::vector<std::vector<double>> out(
+        hits_.size(),
+        std::vector<double>(hits_.empty() ? 0 : hits_[0].size(), 0.0));
+    if (rounds_ == 0)
+        return out;
+    for (std::size_t row = 0; row < hits_.size(); ++row)
+        for (std::size_t c = 0; c < hits_[row].size(); ++c)
+            out[row][c] = static_cast<double>(hits_[row][c]) /
+                static_cast<double>(rounds_);
+    return out;
+}
+
+namespace
+{
+
+ProbeEngineConfig
+detectorEngineConfig(const SizeDetectorConfig &cfg)
+{
+    ProbeEngineConfig ecfg;
+    ecfg.probe = cfg.probe;
+    ecfg.sampleRateHz = cfg.probeRateHz;
+    return ecfg;
+}
+
+std::vector<std::vector<EvictionSet>>
+rowSets(const ComboGroups &groups,
+        const std::vector<std::size_t> &combos,
+        const SizeDetectorConfig &cfg)
+{
+    if (combos.empty())
+        panic("SizeDetector needs at least one combo");
+    std::vector<std::vector<EvictionSet>> out;
+    out.reserve(cfg.rows);
+    for (unsigned row = 0; row < cfg.rows; ++row) {
+        std::vector<EvictionSet> sets;
+        sets.reserve(combos.size());
+        for (std::size_t c : combos)
+            sets.push_back(
+                groups.evictionSetFor(c, cfg.probe.ways).atBlock(row));
+        out.push_back(std::move(sets));
+    }
+    return out;
+}
+
+} // namespace
+
 SizeDetector::SizeDetector(cache::Hierarchy &hier,
                            const ComboGroups &groups,
                            std::vector<std::size_t> combos,
                            const SizeDetectorConfig &cfg)
-    : hier_(hier), combos_(std::move(combos)), cfg_(cfg)
+    : engine_(hier, detectorEngineConfig(cfg)),
+      classifier_(cfg.rows, combos.size())
 {
-    if (combos_.empty())
-        panic("SizeDetector needs at least one combo");
-    rowMonitors_.reserve(cfg_.rows);
-    for (unsigned row = 0; row < cfg_.rows; ++row) {
-        std::vector<EvictionSet> sets;
-        sets.reserve(combos_.size());
-        for (std::size_t c : combos_)
-            sets.push_back(
-                groups.evictionSetFor(c, cfg_.ways).atBlock(row));
-        rowMonitors_.emplace_back(hier_, std::move(sets),
-                                  cfg_.missThreshold);
-    }
+    engine_.addSampleStream(rowSets(groups, combos, cfg));
+    engine_.attach(classifier_);
 }
 
 std::vector<std::vector<double>>
 SizeDetector::measure(EventQueue &eq, Cycles horizon)
 {
-    std::vector<std::vector<std::uint64_t>> hits(
-        cfg_.rows, std::vector<std::uint64_t>(combos_.size(), 0));
-    std::uint64_t rounds = 0;
-    const Cycles interval = secondsToCycles(1.0 / cfg_.probeRateHz);
-
-    for (auto &m : rowMonitors_)
-        m.primeAll(eq.now());
-
-    std::function<void()> round = [&] {
-        Cycles t = eq.now();
-        for (unsigned row = 0; row < cfg_.rows; ++row) {
-            ProbeSample s = rowMonitors_[row].probeAll(t);
-            t = s.end;
-            for (std::size_t c = 0; c < combos_.size(); ++c)
-                hits[row][c] += s.active[c];
-        }
-        ++rounds;
-        const Cycles cost = t - eq.now();
-        const Cycles next = eq.now() + std::max(interval, cost);
-        if (next <= horizon)
-            eq.schedule(next, round);
-    };
-    eq.schedule(eq.now(), round);
-    eq.runUntil(horizon);
-
-    std::vector<std::vector<double>> rates(
-        cfg_.rows, std::vector<double>(combos_.size(), 0.0));
-    if (rounds == 0)
-        return rates;
-    for (unsigned row = 0; row < cfg_.rows; ++row)
-        for (std::size_t c = 0; c < combos_.size(); ++c)
-            rates[row][c] = static_cast<double>(hits[row][c]) /
-                static_cast<double>(rounds);
-    return rates;
+    engine_.run(eq, horizon);
+    return classifier_.rates();
 }
 
 std::vector<double>

@@ -8,6 +8,10 @@
  * and higher rows stay quiet -- except row 1, which always fires
  * because the driver prefetches the second block regardless of size
  * (the Fig. 8 anomaly).
+ *
+ * The sampling loop is an attack::ProbeEngine sample stream (one
+ * monitor per row); the SizeClassifier observer accumulates per-row,
+ * per-combo activity rates.
  */
 
 #ifndef PKTCHASE_ATTACK_SIZE_DETECTOR_HH
@@ -16,7 +20,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "attack/prime_probe.hh"
+#include "attack/probe_engine.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -28,8 +32,38 @@ struct SizeDetectorConfig
 {
     unsigned rows = 4;            ///< Block rows 0..rows-1.
     double probeRateHz = 8000;
-    Cycles missThreshold = 130;
-    unsigned ways = 20;
+
+    /** Shared miss-threshold/ways calibration. */
+    ProbeParams probe;
+};
+
+/**
+ * ProbeEngine observer that accumulates per-(row, combo) activity
+ * counts from a sample stream whose monitors are block rows.
+ */
+class SizeClassifier : public ProbeObserver
+{
+  public:
+    /**
+     * @param rows   Number of row monitors in the stream.
+     * @param combos Sets per row monitor (the monitored combo count).
+     * @param stream Engine stream id to listen to.
+     */
+    SizeClassifier(unsigned rows, std::size_t combos,
+                   std::size_t stream = 0);
+
+    void onObservation(const ProbeObservation &obs) override;
+
+    /** Full rounds observed so far. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** activity[row][combo] as a fraction of observed rounds. */
+    std::vector<std::vector<double>> rates() const;
+
+  private:
+    std::size_t stream_;
+    std::vector<std::vector<std::uint64_t>> hits_;
+    std::uint64_t rounds_ = 0;
 };
 
 /**
@@ -45,6 +79,7 @@ class SizeDetector
 
     /**
      * Probe until @p horizon (traffic already scheduled on @p eq).
+     * Call once per detector.
      * @return activity[row][combo] as a fraction of probe rounds.
      */
     std::vector<std::vector<double>> measure(EventQueue &eq,
@@ -55,10 +90,8 @@ class SizeDetector
     rowActivity(const std::vector<std::vector<double>> &m);
 
   private:
-    cache::Hierarchy &hier_;
-    std::vector<std::size_t> combos_;
-    SizeDetectorConfig cfg_;
-    std::vector<PrimeProbeMonitor> rowMonitors_;
+    ProbeEngine engine_;
+    SizeClassifier classifier_;
 };
 
 } // namespace pktchase::attack

@@ -167,7 +167,7 @@ runCovertChannel(testbed::Testbed &tb, const ChannelRunConfig &cfg)
                      cfg.seed ^ 0x4E01u);
     SpyConfig spy_cfg;
     spy_cfg.probeRateHz = cfg.probeRateHz;
-    spy_cfg.ways = tb.config().llc.geom.ways;
+    spy_cfg.probe.ways = tb.config().llc.geom.ways;
     CovertSpy spy(tb.hier(), tb.groups(), buffers, cfg.scheme, spy_cfg);
 
     noise.start(tb.eq(), horizon);
@@ -176,6 +176,7 @@ runCovertChannel(testbed::Testbed &tb, const ChannelRunConfig &cfg)
     ChannelMeasurement m;
     m.sent = sent.size();
     m.received = listened.events.size();
+    m.probeRounds = listened.rounds;
     const std::vector<unsigned> received = listened.symbols();
     m.errorRate = sent.empty() ? 0.0
         : static_cast<double>(levenshtein(sent, received)) /
@@ -198,14 +199,19 @@ runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
     const std::vector<unsigned> sent = testSymbols(cfg.scheme,
                                                    cfg.nSymbols);
 
-    // Sequence the spy follows: ground truth with optional injected
-    // transpositions standing in for recovery inaccuracy.
-    std::vector<std::size_t> seq = tb.ringComboSequence();
+    // Sequences the spy follows, one per receive queue: ground truth
+    // with optional injected transpositions standing in for recovery
+    // inaccuracy. One shared perturbation stream keeps the queues:1
+    // draw sequence identical to the single-ring model's.
+    std::vector<std::vector<std::size_t>> seqs =
+        tb.queueComboSequences();
     if (cfg.sequenceErrorRate > 0.0) {
         Rng rng(cfg.seed ^ 0xABCDu);
-        for (std::size_t i = 0; i + 1 < seq.size(); ++i)
-            if (rng.nextBool(cfg.sequenceErrorRate))
-                std::swap(seq[i], seq[i + 1]);
+        for (auto &seq : seqs) {
+            for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+                if (rng.nextBool(cfg.sequenceErrorRate))
+                    std::swap(seq[i], seq[i + 1]);
+        }
     }
 
     const double symbol_rate =
@@ -244,7 +250,7 @@ runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
     noise.start(tb.eq(), horizon);
 
     attack::ChasingConfig ch_cfg;
-    ch_cfg.ways = tb.config().llc.geom.ways;
+    ch_cfg.probe.ways = tb.config().llc.geom.ways;
     ch_cfg.probeInterval = std::max<Cycles>(
         500, secondsToCycles(1.0 / symbol_rate) / 4);
     // Sec. IV-b monitoring: three sets per buffer -- block 1 (the
@@ -256,7 +262,10 @@ runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
     ch_cfg.firstBlock = 1;
     ch_cfg.sizeBlocks = 3;
     ch_cfg.lowerHalfOnly = true;
-    attack::ChasingMonitor chaser(tb.hier(), tb.groups(), seq, ch_cfg);
+    // One chase cursor per receive queue: RSS pins the trojan's flow
+    // to one ring, and the spy finds it by chasing all of them.
+    attack::ChasingMonitor chaser(tb.hier(), tb.groups(),
+                                  std::move(seqs), ch_cfg);
     const attack::ChaseResult chased = chaser.chase(tb.eq(), horizon);
 
     // Align the observed class stream against the sent stream with an
@@ -272,6 +281,7 @@ runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
     ChannelMeasurement m;
     m.sent = sent_classes.size();
     m.received = chased.packets.size();
+    m.probeRounds = chased.probes;
     const std::size_t synced = ops.matches + ops.substitutions;
     m.errorRate = synced > 0
         ? static_cast<double>(ops.substitutions) /

@@ -79,6 +79,7 @@ struct ChannelMeasurement
     double bandwidthBps = 0.0;  ///< Achieved information rate.
     double outOfSyncRate = 0.0; ///< Chasing mode only.
     Cycles elapsed = 0;
+    std::uint64_t probeRounds = 0; ///< Spy probe rounds executed.
 };
 
 /** Run the fixed-buffer covert channel on an assembled testbed. */

@@ -17,70 +17,51 @@ ListenResult::symbols() const
     return out;
 }
 
-CovertSpy::CovertSpy(cache::Hierarchy &hier,
-                     const attack::ComboGroups &groups,
-                     std::vector<std::size_t> buffer_combos,
-                     Scheme scheme, const SpyConfig &cfg)
-    : hier_(hier), scheme_(scheme), cfg_(cfg)
+SpyDecoder::SpyDecoder(Scheme scheme, unsigned decode_window,
+                       std::size_t buffers, std::size_t stream)
+    : scheme_(scheme), decodeWindow_(decode_window), stream_(stream),
+      raw_(buffers)
 {
-    if (buffer_combos.empty())
-        panic("CovertSpy needs at least one monitored buffer");
-    monitors_.reserve(buffer_combos.size());
-    for (std::size_t combo : buffer_combos) {
-        const attack::EvictionSet base =
-            groups.evictionSetFor(combo, cfg_.ways);
-        std::vector<attack::EvictionSet> sets;
-        sets.push_back(base.atBlock(1)); // clock (prefetch row)
-        sets.push_back(base.atBlock(2));
-        sets.push_back(base.atBlock(3));
-        monitors_.emplace_back(hier_, std::move(sets),
-                               cfg_.missThreshold);
+}
+
+void
+SpyDecoder::onObservation(const attack::ProbeObservation &obs)
+{
+    if (obs.kind != attack::ProbeKind::Sample ||
+        obs.stream != stream_) {
+        return;
     }
+    if (obs.buffer >= raw_.size() || obs.activeCount < 3)
+        panic("SpyDecoder: observation does not look like a spy round");
+    raw_[obs.buffer].push_back(RawSample{obs.when, obs.active[0] != 0,
+                                         obs.active[1] != 0,
+                                         obs.active[2] != 0});
+    // One engine round probes every buffer once; count it when the
+    // first buffer reports.
+    if (obs.buffer == 0)
+        ++rounds_;
 }
 
 ListenResult
-CovertSpy::listen(EventQueue &eq, Cycles horizon)
+SpyDecoder::result() const
 {
-    ListenResult result;
-    std::vector<std::vector<RawSample>> raw(monitors_.size());
-    const Cycles interval = secondsToCycles(1.0 / cfg_.probeRateHz);
-
-    for (auto &m : monitors_)
-        m.primeAll(eq.now());
-
-    std::function<void()> round = [&] {
-        Cycles t = eq.now();
-        for (std::size_t b = 0; b < monitors_.size(); ++b) {
-            attack::ProbeSample s = monitors_[b].probeAll(t);
-            t = s.end;
-            raw[b].push_back(RawSample{s.start, s.active[0] != 0,
-                                       s.active[1] != 0,
-                                       s.active[2] != 0});
-        }
-        ++result.rounds;
-        const Cycles cost = t - eq.now();
-        const Cycles next = eq.now() + std::max(interval, cost);
-        if (next <= horizon)
-            eq.schedule(next, round);
-    };
-    eq.schedule(eq.now(), round);
-    eq.runUntil(horizon);
-
-    for (std::size_t b = 0; b < monitors_.size(); ++b) {
-        std::vector<SymbolEvent> events = decodeBuffer(b, raw[b]);
-        result.events.insert(result.events.end(), events.begin(),
-                             events.end());
+    ListenResult out;
+    out.rounds = rounds_;
+    for (std::size_t b = 0; b < raw_.size(); ++b) {
+        std::vector<SymbolEvent> events = decodeBuffer(b, raw_[b]);
+        out.events.insert(out.events.end(), events.begin(),
+                          events.end());
     }
-    std::sort(result.events.begin(), result.events.end(),
+    std::sort(out.events.begin(), out.events.end(),
               [](const SymbolEvent &a, const SymbolEvent &b) {
                   return a.when < b.when;
               });
-    return result;
+    return out;
 }
 
 std::vector<SymbolEvent>
-CovertSpy::decodeBuffer(std::size_t buffer,
-                        const std::vector<RawSample> &samples) const
+SpyDecoder::decodeBuffer(std::size_t buffer,
+                         const std::vector<RawSample> &samples) const
 {
     // Group consecutive clock-active samples into one packet event and
     // OR the data rows across a bounded window (wide peaks span two
@@ -94,7 +75,7 @@ CovertSpy::decodeBuffer(std::size_t buffer,
         }
         bool b2 = false, b3 = false;
         const std::size_t end =
-            std::min(samples.size(), i + cfg_.decodeWindow);
+            std::min(samples.size(), i + decodeWindow_);
         std::size_t j = i;
         for (; j < end && samples[j].clock; ++j) {
             b2 |= samples[j].b2;
@@ -110,6 +91,60 @@ CovertSpy::decodeBuffer(std::size_t buffer,
             ++i;
     }
     return events;
+}
+
+namespace
+{
+
+attack::ProbeEngineConfig
+spyEngineConfig(const SpyConfig &cfg)
+{
+    attack::ProbeEngineConfig ecfg;
+    ecfg.probe = cfg.probe;
+    ecfg.sampleRateHz = cfg.probeRateHz;
+    return ecfg;
+}
+
+std::vector<std::vector<attack::EvictionSet>>
+spyBufferSets(const attack::ComboGroups &groups,
+              const std::vector<std::size_t> &buffer_combos,
+              unsigned ways)
+{
+    if (buffer_combos.empty())
+        panic("CovertSpy needs at least one monitored buffer");
+    std::vector<std::vector<attack::EvictionSet>> out;
+    out.reserve(buffer_combos.size());
+    for (std::size_t combo : buffer_combos) {
+        const attack::EvictionSet base =
+            groups.evictionSetFor(combo, ways);
+        std::vector<attack::EvictionSet> sets;
+        sets.push_back(base.atBlock(1)); // clock (prefetch row)
+        sets.push_back(base.atBlock(2));
+        sets.push_back(base.atBlock(3));
+        out.push_back(std::move(sets));
+    }
+    return out;
+}
+
+} // namespace
+
+CovertSpy::CovertSpy(cache::Hierarchy &hier,
+                     const attack::ComboGroups &groups,
+                     std::vector<std::size_t> buffer_combos,
+                     Scheme scheme, const SpyConfig &cfg)
+    : engine_(hier, spyEngineConfig(cfg)),
+      decoder_(scheme, cfg.decodeWindow, buffer_combos.size())
+{
+    engine_.addSampleStream(
+        spyBufferSets(groups, buffer_combos, cfg.probe.ways));
+    engine_.attach(decoder_);
+}
+
+ListenResult
+CovertSpy::listen(EventQueue &eq, Cycles horizon)
+{
+    engine_.run(eq, horizon);
+    return decoder_.result();
 }
 
 } // namespace pktchase::channel

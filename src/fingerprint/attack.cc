@@ -14,28 +14,28 @@ FingerprintAttack::FingerprintAttack(testbed::Testbed &tb,
                                      const FingerprintConfig &cfg)
     : tb_(tb), db_(db), cfg_(cfg), clf_(cfg.classifier)
 {
-    chaseSeq_ = tb_.ringComboSequence();
+    chaseSeqs_ = tb_.queueComboSequences();
     if (cfg_.sequenceErrorRate > 0.0) {
+        // One shared perturbation stream in queue order keeps the
+        // queues:1 draw sequence identical to the single-ring model's.
         Rng rng(cfg_.seed ^ 0x5EC5u);
-        for (std::size_t i = 0; i + 1 < chaseSeq_.size(); ++i)
-            if (rng.nextBool(cfg_.sequenceErrorRate))
-                std::swap(chaseSeq_[i], chaseSeq_[i + 1]);
+        for (auto &seq : chaseSeqs_) {
+            for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+                if (rng.nextBool(cfg_.sequenceErrorRate))
+                    std::swap(seq[i], seq[i + 1]);
+        }
     }
 }
 
-std::vector<std::size_t>
-FingerprintAttack::rotatedSequence() const
+std::vector<std::vector<std::size_t>>
+FingerprintAttack::rotatedSequences() const
 {
-    // The spy tracks the ring position continuously (it has been
-    // chasing since setup), so the chase starts at the slot the NIC
-    // will fill next.
-    std::vector<std::size_t> seq = chaseSeq_;
-    const std::size_t head = tb_.driver().ring().head();
-    std::rotate(seq.begin(),
-                seq.begin() + static_cast<std::ptrdiff_t>(
-                    head % seq.size()),
-                seq.end());
-    return seq;
+    // The spy tracks every ring's position continuously (it has been
+    // chasing since setup), so each queue's chase starts at the slot
+    // that queue's NIC ring will fill next.
+    std::vector<std::vector<std::size_t>> seqs = chaseSeqs_;
+    tb_.rotateToRingHeads(seqs);
+    return seqs;
 }
 
 std::vector<unsigned>
@@ -69,12 +69,13 @@ FingerprintAttack::captureVisit(std::size_t site, Rng &rng)
                           rng.next());
 
     attack::ChasingConfig ch;
-    ch.ways = tb_.config().llc.geom.ways;
+    ch.probe.ways = tb_.config().llc.geom.ways;
     ch.probeInterval = std::max<Cycles>(
         500, secondsToCycles(1.0 / cfg_.visitRatePps) / 4);
     attack::ChasingMonitor chaser(tb_.hier(), tb_.groups(),
-                                  rotatedSequence(), ch);
+                                  rotatedSequences(), ch);
     const attack::ChaseResult r = chaser.chase(tb_.eq(), horizon);
+    probeRounds_ += r.probes;
 
     std::vector<unsigned> classes;
     classes.reserve(cfg_.classifier.length);
@@ -105,6 +106,7 @@ FingerprintAttack::evaluate()
     result.confusion.assign(
         db_.size(), std::vector<unsigned>(db_.size(), 0));
 
+    const std::uint64_t rounds_before = probeRounds_;
     for (std::size_t t = 0; t < cfg_.trials; ++t) {
         const std::size_t site = t % db_.size();
         const std::vector<unsigned> captured = captureVisit(site, rng);
@@ -114,6 +116,7 @@ FingerprintAttack::evaluate()
             ++result.correct;
         ++result.trials;
     }
+    result.probeRounds = probeRounds_ - rounds_before;
     result.accuracy = result.trials > 0
         ? static_cast<double>(result.correct) /
             static_cast<double>(result.trials)

@@ -10,6 +10,13 @@
  * classifier names the site. Accuracy is evaluated closed-world over
  * the five-site database, with DDIO on or off (the paper measures
  * 89.7% and 86.5% respectively).
+ *
+ * On a multi-queue NIC the page load's connections are RSS-spread
+ * across receive queues; the spy runs one chase cursor per queue
+ * (attack::ProbeEngine) and classifies the arrival-ordered merge of
+ * every queue's observations. With queues == 1 the capture pipeline is
+ * bit-identical to the paper's single-ring chase
+ * (tests/probe_golden_test.cc).
  */
 
 #ifndef PKTCHASE_FINGERPRINT_ATTACK_HH
@@ -48,6 +55,9 @@ struct FingerprintResult
     double accuracy = 0.0;
     /** confusion[truth][predicted] counts. */
     std::vector<std::vector<unsigned>> confusion;
+
+    /** Probe rounds the spy executed across every trial capture. */
+    std::uint64_t probeRounds = 0;
 };
 
 /**
@@ -75,15 +85,24 @@ class FingerprintAttack
     /** The trained classifier (valid after evaluate()). */
     const CorrelationClassifier &classifier() const { return clf_; }
 
+    /** Probe rounds executed by every captureVisit() so far. */
+    std::uint64_t probeRounds() const { return probeRounds_; }
+
   private:
     testbed::Testbed &tb_;
     const WebsiteDb &db_;
     FingerprintConfig cfg_;
     CorrelationClassifier clf_;
-    std::vector<std::size_t> chaseSeq_; ///< Possibly perturbed ring seq.
+    std::uint64_t probeRounds_ = 0;
 
-    /** Ring sequence rotated so the chase starts at the ring head. */
-    std::vector<std::size_t> rotatedSequence() const;
+    /** Per-queue ring sequences, possibly perturbed. */
+    std::vector<std::vector<std::size_t>> chaseSeqs_;
+
+    /**
+     * chaseSeqs_ with each queue's sequence rotated so its chase
+     * starts at that ring's head.
+     */
+    std::vector<std::vector<std::size_t>> rotatedSequences() const;
 };
 
 } // namespace pktchase::fingerprint

@@ -76,8 +76,16 @@ WebsiteDb::visit(std::size_t site, Rng &rng) const
     std::vector<nic::Frame> frames;
     frames.reserve(sig.size() + 8);
     std::uint64_t id = 0;
+    std::size_t pos = 0;
 
     for (Addr size : sig) {
+        // The page load fans out over a few concurrent connections;
+        // frames round-robin across their flow ids so RSS spreads a
+        // visit over every receive queue of a multi-queue NIC. Flows
+        // are assigned positionally (no rng draw), keeping the visit's
+        // frame sizes -- and the single-queue capture -- unchanged.
+        const auto flow = kFlowBase +
+            static_cast<std::uint32_t>(pos++ % kConnectionsPerVisit);
         if (rng.nextBool(cfg_.lossProb))
             continue; // dropped on the wire
         Addr bytes = size;
@@ -90,8 +98,10 @@ WebsiteDb::visit(std::size_t site, Rng &rng) const
         f.bytes = bytes;
         f.protocol = nic::Protocol::Tcp;
         f.id = id++;
+        f.flow = flow;
         frames.push_back(f);
         if (rng.nextBool(cfg_.retransProb)) {
+            // A retransmit rides the original's connection.
             nic::Frame dup = f;
             dup.id = id++;
             frames.push_back(dup);

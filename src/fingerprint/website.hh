@@ -46,6 +46,13 @@ struct WebsiteConfig
 class WebsiteDb
 {
   public:
+    /** Concurrent connections a visit's frames round-robin across
+     *  (their flow ids are what the NIC's RSS hash spreads). */
+    static constexpr std::uint32_t kConnectionsPerVisit = 6;
+
+    /** First flow id of a visit's connection population. */
+    static constexpr std::uint32_t kFlowBase = 0xF100;
+
     /**
      * @param names Site identifiers (the paper's closed world is
      *              facebook/twitter/google/amazon/apple).

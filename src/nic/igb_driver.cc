@@ -173,6 +173,8 @@ IgbDriver::receive(const Frame &frame, Cycles now)
     processRx(q, index, frame, when);
 
     ++q.stats_.framesReceived;
+    if (q.tap_)
+        q.tap_(index, frame, now);
     return globalIndex(q.index_, index);
 }
 

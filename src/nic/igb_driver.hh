@@ -40,6 +40,7 @@
 #define PKTCHASE_NIC_IGB_DRIVER_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -123,6 +124,21 @@ class RxQueue
      */
     std::uint64_t seed() const { return seed_; }
 
+    /**
+     * Per-queue delivery observer: called for every frame this queue
+     * receives, after the driver finished processing it, with the
+     * ring slot that was filled and the arrival cycle. Harnesses use
+     * the tap as per-queue ground truth (e.g. scoring a probe-engine
+     * chase against what each ring actually received); taps must not
+     * mutate driver state.
+     */
+    using DeliveryTap =
+        std::function<void(std::size_t slot, const Frame &frame,
+                           Cycles when)>;
+
+    /** Install @p tap (replaces any previous one; {} clears it). */
+    void setDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
+
     // ------------------------------------------------------------------
     // Policy mutation surface: BufferPolicy hooks rearrange this
     // queue's backing pages only through these, so the defense cost
@@ -166,6 +182,7 @@ class RxQueue
     Rng rng_;
     IgbStats stats_;
     std::unique_ptr<BufferPolicy> policy_;
+    DeliveryTap tap_;
 };
 
 /**

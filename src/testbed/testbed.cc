@@ -1,5 +1,7 @@
 #include "testbed.hh"
 
+#include <algorithm>
+
 #include "defense/registry.hh"
 #include "sim/logging.hh"
 
@@ -130,6 +132,32 @@ Testbed::queueComboSequences() const
     for (std::size_t q = 0; q < driver_->numQueues(); ++q)
         out.push_back(ringComboSequence(q));
     return out;
+}
+
+void
+Testbed::rotateToRingHeads(
+    std::vector<std::vector<std::size_t>> &queue_seqs) const
+{
+    if (queue_seqs.size() != driver_->numQueues())
+        fatal("rotateToRingHeads: need one sequence per receive queue");
+    for (std::size_t q = 0; q < queue_seqs.size(); ++q) {
+        std::vector<std::size_t> &seq = queue_seqs[q];
+        if (seq.empty())
+            continue;
+        const std::size_t head = driver_->ring(q).head();
+        std::rotate(seq.begin(),
+                    seq.begin() + static_cast<std::ptrdiff_t>(
+                        head % seq.size()),
+                    seq.end());
+    }
+}
+
+std::vector<std::vector<std::size_t>>
+Testbed::chaseSequences() const
+{
+    std::vector<std::vector<std::size_t>> seqs = queueComboSequences();
+    rotateToRingHeads(seqs);
+    return seqs;
 }
 
 std::vector<std::size_t>

@@ -104,6 +104,22 @@ class Testbed
     std::vector<std::vector<std::size_t>> queueComboSequences() const;
 
     /**
+     * Chase-ready sequences: queueComboSequences() with each queue's
+     * sequence rotated so slot 0 is the slot that ring will fill
+     * next. What a spy that has tracked every ring since setup would
+     * feed attack::ProbeEngine chase streams.
+     */
+    std::vector<std::vector<std::size_t>> chaseSequences() const;
+
+    /**
+     * Rotate one per-queue sequence per receive queue (e.g. a
+     * perturbed copy of queueComboSequences()) so each starts at the
+     * slot its ring will fill next; fatal on a queue-count mismatch.
+     */
+    void rotateToRingHeads(
+        std::vector<std::vector<std::size_t>> &queue_seqs) const;
+
+    /**
      * Combos to which exactly one ring buffer page maps -- the buffers
      * the covert channel prefers (Sec. IV-b).
      */

@@ -1,0 +1,208 @@
+#include "attack_eval.hh"
+
+#include <cstdio>
+
+#include "channel/capacity.hh"
+#include "runtime/registry.hh"
+#include "testbed/testbed.hh"
+
+namespace pktchase::workload
+{
+
+namespace
+{
+
+/** The paper's five-site closed world (and its signature seed). */
+fingerprint::WebsiteDb
+fig20Db()
+{
+    return fingerprint::WebsiteDb(
+        {"facebook.com", "twitter.com", "google.com", "amazon.com",
+         "apple.com"},
+        42);
+}
+
+/** "fig13/160kbps" (+ "+nic.queues:N" off the default queue count). */
+std::string
+fig13CellName(double bandwidth_bps, std::size_t queues)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "fig13/%.0fkbps",
+                  bandwidth_bps / 1000.0);
+    std::string name(buf);
+    if (queues != nic::kDefaultQueues)
+        name += "+" + defense::nicSpecOf(queues);
+    return name;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+attackQueueCounts()
+{
+    return {nic::kDefaultQueues, 4};
+}
+
+std::vector<defense::Cell>
+fig20Cells()
+{
+    const defense::Cell bases[] = {
+        {"ring.none", "cache.ddio"},         // vulnerable baseline
+        {"ring.none", "cache.no-ddio"},      // the paper's 86.5% axis
+        {"ring.partial:1000", "cache.ddio"}, // the paper's sweet spot
+        {"ring.full", "cache.ddio"},         // costliest ring defense
+        {"ring.none", "cache.adaptive"},     // cache-side defense
+    };
+    std::vector<defense::Cell> cells;
+    for (std::size_t q : attackQueueCounts()) {
+        for (const defense::Cell &base : bases) {
+            defense::Cell cell = base;
+            cell.nic = defense::nicSpecOf(q);
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+fingerprint::FingerprintConfig
+fig20Config(std::uint64_t seed)
+{
+    fingerprint::FingerprintConfig cfg;
+    cfg.trainVisits = 10;
+    cfg.trials = 20;
+    cfg.sequenceErrorRate = 0.01;
+    cfg.seed = seed;
+    return cfg;
+}
+
+fingerprint::FingerprintResult
+fig20Cell(const defense::Cell &cell, std::uint64_t seed)
+{
+    // The attack testbed, not makeDefenseConfig(): the spy needs its
+    // eviction-set pool and the real timing-noise model.
+    testbed::TestbedConfig tcfg;
+    tcfg.ringDefense = cell.ring;
+    tcfg.cacheDefense = cell.cache;
+    tcfg.nicSpec = cell.nic;
+    testbed::Testbed tb(tcfg);
+    const fingerprint::WebsiteDb db = fig20Db();
+    fingerprint::FingerprintAttack atk(tb, db, fig20Config(seed));
+    return atk.evaluate();
+}
+
+std::vector<runtime::Scenario>
+fig11CovertGrid(std::size_t symbols)
+{
+    std::vector<runtime::Scenario> grid;
+    for (channel::Scheme scheme :
+         {channel::Scheme::Binary, channel::Scheme::Ternary}) {
+        for (double khz : {7.0, 14.0, 28.0}) {
+            const char *enc =
+                scheme == channel::Scheme::Binary ? "binary" : "ternary";
+            char name[64];
+            std::snprintf(name, sizeof(name), "fig11/%s/%.0fkhz", enc,
+                          khz);
+            grid.push_back({name,
+                [scheme, khz, symbols](runtime::ScenarioContext &ctx) {
+                    testbed::Testbed tb(testbed::TestbedConfig{});
+                    channel::ChannelRunConfig cfg;
+                    cfg.scheme = scheme;
+                    cfg.probeRateHz = khz * 1000.0;
+                    cfg.nSymbols = symbols;
+                    // Background cache noise from unrelated processes:
+                    // what makes long probe intervals error-prone
+                    // (Sec. IV-b). Every cell sees the same streams.
+                    cfg.cacheNoiseHz = 20000.0;
+                    cfg.cacheNoiseBatch = 48;
+                    cfg.seed = runtime::splitSeed(
+                        ctx.campaignSeed, runtime::axisSalt(0x11));
+                    const channel::ChannelMeasurement m =
+                        channel::runCovertChannel(tb, cfg);
+                    runtime::ScenarioResult r;
+                    r.set("bandwidth_bps", m.bandwidthBps);
+                    r.set("error_rate", m.errorRate);
+                    r.set("received", static_cast<double>(m.received));
+                    r.set("probe_rounds",
+                          static_cast<double>(m.probeRounds));
+                    return r;
+                }});
+        }
+    }
+    return grid;
+}
+
+std::vector<runtime::Scenario>
+fig13ChannelGrid(std::size_t symbols)
+{
+    std::vector<runtime::Scenario> grid;
+    for (std::size_t queues : attackQueueCounts()) {
+        for (double bps : {80000.0, 320000.0, 640000.0}) {
+            const std::string nic_spec = defense::nicSpecOf(queues);
+            grid.push_back({fig13CellName(bps, queues),
+                [bps, nic_spec, symbols](runtime::ScenarioContext &ctx) {
+                    testbed::TestbedConfig tcfg;
+                    tcfg.nicSpec = nic_spec;
+                    testbed::Testbed tb(tcfg);
+                    channel::ChasingChannelConfig cfg;
+                    cfg.targetBandwidthBps = bps;
+                    cfg.nSymbols = symbols;
+                    cfg.seed = runtime::splitSeed(
+                        ctx.campaignSeed, runtime::axisSalt(0x13));
+                    const channel::ChannelMeasurement m =
+                        channel::runChasingChannel(tb, cfg);
+                    runtime::ScenarioResult r;
+                    r.set("error_rate", m.errorRate);
+                    r.set("out_of_sync_rate", m.outOfSyncRate);
+                    r.set("received", static_cast<double>(m.received));
+                    r.set("probe_rounds",
+                          static_cast<double>(m.probeRounds));
+                    return r;
+                }});
+        }
+    }
+    return grid;
+}
+
+std::vector<runtime::Scenario>
+fig20FingerprintGrid()
+{
+    std::vector<runtime::Scenario> grid;
+    for (const defense::Cell &cell : fig20Cells()) {
+        grid.push_back({"fig20/" + cell.name(),
+            [cell](runtime::ScenarioContext &ctx) {
+                // One shared visit/jitter stream: every defense cell
+                // fingerprints the same page loads.
+                const fingerprint::FingerprintResult res = fig20Cell(
+                    cell, runtime::splitSeed(ctx.campaignSeed,
+                                             runtime::axisSalt(0x20)));
+                runtime::ScenarioResult r;
+                r.set("accuracy", res.accuracy);
+                r.set("correct", static_cast<double>(res.correct));
+                r.set("trials", static_cast<double>(res.trials));
+                r.set("probe_rounds",
+                      static_cast<double>(res.probeRounds));
+                return r;
+            }});
+    }
+    return grid;
+}
+
+void
+registerAttackScenarios()
+{
+    auto &reg = runtime::ScenarioRegistry::instance();
+    reg.add("fig11",
+            "Covert-channel bandwidth/error per encoding and probe "
+            "rate, under cache noise",
+            [] { return fig11CovertGrid(300); });
+    reg.add("fig13",
+            "Packet-chasing channel error/capacity per target "
+            "bandwidth and NIC queue count",
+            [] { return fig13ChannelGrid(600); });
+    reg.add("fig20",
+            "Closed-world fingerprint accuracy per defense cell and "
+            "NIC queue count",
+            [] { return fig20FingerprintGrid(); });
+}
+
+} // namespace pktchase::workload

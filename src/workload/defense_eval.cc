@@ -316,7 +316,7 @@ fig7qFootprintGrid(std::uint64_t frames)
                      ++c)
                     all.push_back(c);
                 attack::FootprintConfig fcfg;
-                fcfg.ways = cfg.llc.geom.ways; // reduced geometry
+                fcfg.probe.ways = cfg.llc.geom.ways; // reduced geometry
                 attack::FootprintScanner scanner(
                     tb.hier(), tb.groups(), all, fcfg);
                 const auto samples =

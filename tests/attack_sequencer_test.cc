@@ -201,7 +201,7 @@ TEST(FullRingRecovery, PlacesNearlyAllCombosExactlyOnce)
     SequencerConfig cfg;
     cfg.nSamples = 12000;
     cfg.probeRateHz = 100000;
-    cfg.ways = tb.config().llc.geom.ways;
+    cfg.probe.ways = tb.config().llc.geom.ways;
     FullRingRecovery rec(tb.hier(), tb.groups(), active, cfg);
     const auto master = rec.recover(tb.eq());
 

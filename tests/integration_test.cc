@@ -74,7 +74,7 @@ TEST(Integration, SequencerRecoversRingOrderAtTableIQuality)
     SequencerConfig cfg;
     cfg.nSamples = 40000;
     cfg.probeRateHz = 100000;
-    cfg.ways = tb.config().llc.geom.ways;
+    cfg.probe.ways = tb.config().llc.geom.ways;
     Sequencer seq(tb.hier(), tb.groups(), active, cfg);
     const SequencerResult result = seq.run(tb.eq());
 
@@ -106,7 +106,7 @@ TEST(Integration, SizeDetectorSeesDiagonalPattern)
         auto combos = tb.activeCombos();
         combos.resize(16);
         SizeDetectorConfig cfg;
-        cfg.ways = tb.config().llc.geom.ways;
+        cfg.probe.ways = tb.config().llc.geom.ways;
         SizeDetector det(tb.hier(), tb.groups(), combos, cfg);
         net::TrafficPump pump(
             tb.eq(), tb.driver(),
@@ -144,7 +144,7 @@ TEST(Integration, ChasingObservesSizesInOrder)
         tb.eq().now() + 1000);
 
     ChasingConfig cfg;
-    cfg.ways = tb.config().llc.geom.ways;
+    cfg.probe.ways = tb.config().llc.geom.ways;
     cfg.probeInterval = 5000;
     ChasingMonitor chaser(tb.hier(), tb.groups(),
                           tb.ringComboSequence(), cfg);
@@ -206,7 +206,7 @@ TEST(Integration, FullRandomizationDegradesSequenceRecovery)
     SequencerConfig cfg;
     cfg.nSamples = 20000;
     cfg.probeRateHz = 100000;
-    cfg.ways = tb.config().llc.geom.ways;
+    cfg.probe.ways = tb.config().llc.geom.ways;
     Sequencer seq(tb.hier(), tb.groups(), active, cfg);
     const SequencerResult result = seq.run(tb.eq());
 
