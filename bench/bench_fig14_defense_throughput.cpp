@@ -57,5 +57,13 @@ main()
     bench::rule(62);
     std::printf("  average loss: %.2f%% (paper: <2%%)\n",
                 loss_sum / 3.0);
+
+    sim::BenchReport report("fig14");
+    report.scalar("requests", static_cast<double>(requests));
+    report.scalar("average_loss_pct", loss_sum / 3.0);
+    bench::addCells(report, results);
+    if (!report.write())
+        return 1;
+    std::printf("  wrote BENCH_fig14.json\n");
     return 0;
 }

@@ -32,28 +32,15 @@ using namespace pktchase::workload;
 namespace
 {
 
-void
-printTable(const std::vector<runtime::ScenarioResult> &results,
-           const std::string &prefix,
-           const std::vector<defense::Cell> &cells, double base_p99)
+/** Canonical names of a cell list, for the shared table printer. */
+std::vector<std::string>
+cellNames(const std::vector<defense::Cell> &cells)
 {
-    std::printf("  %-40s %8s %8s %8s %8s %8s\n", "defense cell",
-                "p50", "p90", "p99", "p99.9", "p99.99");
-    bench::rule(92);
-    for (const defense::Cell &cell : cells) {
-        // Rows are looked up by canonical cell name so a reordered
-        // grid cannot silently mislabel a defense.
-        const auto &r =
-            bench::byName(results, prefix + "/" + cell.name());
-        const double p99 = r.value("p99");
-        std::printf("  %-40s %8.3f %8.3f %8.3f %8.3f %8.3f  "
-                    "(p99 %+5.1f%%)\n",
-                    cell.name().c_str(), r.value("p50"),
-                    r.value("p90"), p99, r.value("p99_9"),
-                    r.value("p99_99"),
-                    100.0 * (p99 / base_p99 - 1.0));
-    }
-    bench::rule(92);
+    std::vector<std::string> names;
+    names.reserve(cells.size());
+    for (const defense::Cell &cell : cells)
+        names.push_back(cell.name());
+    return names;
 }
 
 } // namespace
@@ -81,17 +68,28 @@ main()
         results, "fig16/ring.none+cache.ddio").value("p99");
 
     std::printf("  paper cells (latency in ms):\n");
-    printTable(results, "fig16", fig16Cells(), base_p99);
+    bench::printLatencyTable(results, "fig16", cellNames(fig16Cells()),
+                             base_p99);
 
     std::printf("\n  extended cells (p99 vs. the same baseline):\n");
-    printTable(results, "fig16x", extendedCells(), base_p99);
+    bench::printLatencyTable(results, "fig16x",
+                             cellNames(extendedCells()), base_p99);
 
     std::printf("\n  multi-queue cells (RSS steering; per-packet-count"
                 " defenses\n  reshuffle each ring N x less often at N"
                 " queues):\n");
-    printTable(results, "fig16q", fig16qCells(), base_p99);
+    bench::printLatencyTable(results, "fig16q",
+                             cellNames(fig16qCells()), base_p99);
 
     std::printf("  open loop at %.0fk req/s, %zu requests per "
                 "configuration\n", rate / 1000.0, requests);
+
+    sim::BenchReport report("fig16");
+    report.scalar("rate_req_per_sec", rate);
+    report.scalar("requests", static_cast<double>(requests));
+    bench::addCells(report, results);
+    if (!report.write())
+        return 1;
+    std::printf("  wrote BENCH_fig16.json\n");
     return 0;
 }

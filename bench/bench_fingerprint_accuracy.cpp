@@ -5,9 +5,10 @@
  * with DDIO, 86.5% without, and ~chance once a real defense is on),
  * plus the probe-engine throughput that produced it.
  *
- * Emits BENCH_fingerprint.json -- accuracy and simulated probe rounds
- * per cell plus host-side probe rounds/sec -- so the attacker
- * pipeline's performance trajectory is tracked across commits.
+ * Emits BENCH_fingerprint.json (via sim::BenchReport) -- accuracy and
+ * simulated probe rounds per cell plus host-side probe rounds/sec --
+ * so the attacker pipeline's performance trajectory is tracked across
+ * commits.
  *
  * Threads default to the machine; set PKTCHASE_THREADS to pin.
  */
@@ -73,29 +74,21 @@ main()
                 results.size(), elapsed,
                 elapsed > 0.0 ? total_rounds / elapsed : 0.0);
 
-    FILE *json = std::fopen("BENCH_fingerprint.json", "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot write BENCH_fingerprint.json\n");
-        return 1;
-    }
-    std::fprintf(json, "{\n  \"bench\": \"fingerprint_accuracy\",\n");
-    std::fprintf(json, "  \"elapsed_sec\": %.6f,\n", elapsed);
-    std::fprintf(json, "  \"probe_rounds_per_sec\": %.1f,\n",
-                 elapsed > 0.0 ? total_rounds / elapsed : 0.0);
-    std::fprintf(json, "  \"cells\": [\n");
+    sim::BenchReport report("fingerprint");
+    report.scalar("elapsed_sec", elapsed);
+    report.scalar("probe_rounds_per_sec",
+                  elapsed > 0.0 ? total_rounds / elapsed : 0.0);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const runtime::ScenarioResult &r = results[i];
-        const double rounds = r.value("probe_rounds");
-        std::fprintf(json,
-                     "    {\"name\": \"%s\", \"accuracy\": %.6f, "
-                     "\"probe_rounds\": %.0f, "
-                     "\"probe_rounds_per_sec\": %.1f}%s\n",
-                     r.name.c_str(), r.value("accuracy"), rounds,
-                     wall[i] > 0.0 ? rounds / wall[i] : 0.0,
-                     i + 1 < results.size() ? "," : "");
+        sim::BenchReport::Metrics metrics = r.metrics;
+        metrics.emplace_back("probe_rounds_per_sec",
+                             wall[i] > 0.0
+                                 ? r.value("probe_rounds") / wall[i]
+                                 : 0.0);
+        report.cell(r.name, metrics);
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    if (!report.write())
+        return 1;
     std::printf("  wrote BENCH_fingerprint.json\n");
     return 0;
 }

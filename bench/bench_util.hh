@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/scenario.hh"
+#include "sim/bench_report.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::bench
@@ -48,6 +49,46 @@ rule(unsigned width = 72)
     for (unsigned i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/**
+ * Print the standard latency-percentile table (the five
+ * sim::kPercentileKeys columns plus a p99 delta against
+ * @p base_p99) for the named cells, each looked up as
+ * "<prefix>/<cell name>" -- the single source of the percentile
+ * emission every latency bench shares.
+ */
+inline void
+printLatencyTable(const std::vector<runtime::ScenarioResult> &results,
+                  const std::string &prefix,
+                  const std::vector<std::string> &cell_names,
+                  double base_p99)
+{
+    std::printf("  %-44s", "cell");
+    for (const std::string &key : sim::kPercentileKeys)
+        std::printf(" %8s", key.c_str());
+    std::printf("\n");
+    rule(96);
+    for (const std::string &name : cell_names) {
+        // Rows are looked up by canonical cell name so a reordered
+        // grid cannot silently mislabel a defense.
+        const auto &r = byName(results, prefix + "/" + name);
+        std::printf("  %-44s", name.c_str());
+        for (const std::string &key : sim::kPercentileKeys)
+            std::printf(" %8.3f", r.value(key));
+        std::printf("  (p99 %+5.1f%%)\n",
+                    100.0 * (r.value("p99") / base_p99 - 1.0));
+    }
+    rule(96);
+}
+
+/** Append every campaign result as a cell of @p report. */
+inline void
+addCells(sim::BenchReport &report,
+         const std::vector<runtime::ScenarioResult> &results)
+{
+    for (const runtime::ScenarioResult &r : results)
+        report.cell(r.name, r.metrics);
 }
 
 } // namespace pktchase::bench

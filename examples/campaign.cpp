@@ -7,40 +7,116 @@
  *
  * Build & run:  ./build/examples/campaign
  *
- * With an argument, run any registered grid by name instead and print
- * its full merged report -- every experiment (and every defense cell
- * in it) is reachable from the command line through the registries:
+ * With a grid name, run any registered grid instead and print its
+ * full merged report -- every experiment (and every defense cell in
+ * it) is reachable from the command line through the registries.
+ * Flags control the worker count and the campaign seed:
  *
  *     ./build/examples/campaign fig16x
+ *     ./build/examples/campaign figD1 --threads=1 --seed=7
+ *
+ * --threads=0 (the default) resolves like the benches: the
+ * PKTCHASE_THREADS environment variable, else max(4, hardware).
+ * Reports are bit-identical across thread counts at a fixed seed --
+ * CI diffs --threads=1 against the default to prove it.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
 #include "workload/attack_eval.hh"
 #include "workload/defense_eval.hh"
+#include "workload/detect_eval.hh"
 
 using namespace pktchase;
+
+namespace
+{
+
+/** Parse a decimal string; false on junk or > 19 digits (the same
+ *  stoull-overflow cap the defense spec grammar applies). */
+bool
+parseUnsigned(const std::string &digits, std::uint64_t &out)
+{
+    if (digits.empty() || digits.size() > 19 ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::stoull(digits);
+    return true;
+}
+
+/** Parse "--threads=N" / "--seed=S" into @p opt; false on junk. */
+bool
+parseFlag(const std::string &arg, runtime::SweepOptions &opt,
+          bool &seed_set)
+{
+    std::uint64_t value = 0;
+    const std::string threads = "--threads=";
+    const std::string seed = "--seed=";
+    if (arg.rfind(threads, 0) == 0) {
+        if (!parseUnsigned(arg.substr(threads.size()), value) ||
+            value > std::numeric_limits<unsigned>::max())
+            return false;
+        opt.threads = static_cast<unsigned>(value);
+        return true;
+    }
+    if (arg.rfind(seed, 0) == 0) {
+        if (!parseUnsigned(arg.substr(seed.size()), value))
+            return false;
+        opt.seed = value;
+        seed_set = true;
+        return true;
+    }
+    return false;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [<grid>] [--threads=N] [--seed=S]\n",
+                 argv0);
+    return 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     workload::registerDefenseScenarios();
     workload::registerAttackScenarios();
+    workload::registerDetectionScenarios();
 
-    if (argc > 1) {
-        const std::string name = argv[1];
-        if (!runtime::ScenarioRegistry::instance().contains(name)) {
+    runtime::SweepOptions opt;
+    bool seed_set = false;
+    std::string grid_name;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            if (!parseFlag(arg, opt, seed_set))
+                return usage(argv[0]);
+        } else if (grid_name.empty()) {
+            grid_name = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!grid_name.empty()) {
+        if (!runtime::ScenarioRegistry::instance().contains(grid_name)) {
             std::fprintf(stderr, "unknown grid \"%s\"; registered:\n",
-                         name.c_str());
+                         grid_name.c_str());
             for (const std::string &n :
                  runtime::ScenarioRegistry::instance().names())
                 std::fprintf(stderr, "  %s\n", n.c_str());
             return 1;
         }
-        const auto results = runtime::sweep(name);
+        const auto results = runtime::sweep(grid_name, opt);
         std::fputs(runtime::formatReport(results).c_str(), stdout);
         return 0;
     }
@@ -57,9 +133,11 @@ main(int argc, char **argv)
     std::printf("\nrunning a reduced fig14 sweep in parallel:\n");
     const auto grid = workload::fig14ThroughputGrid(800);
 
-    runtime::SweepOptions fast;
-    fast.threads = 4;
-    fast.seed = 42;
+    runtime::SweepOptions fast = opt;
+    if (fast.threads == 0)
+        fast.threads = 4;
+    if (!seed_set)
+        fast.seed = 42; // The demo's historical pinned seed.
     const auto parallel = runtime::sweep(grid, fast);
 
     for (const auto &r : parallel)

@@ -226,6 +226,18 @@ Llc::ioFill(std::size_t gset, Addr block)
     repl_->touch(gset, static_cast<unsigned>(way));
 }
 
+void
+Llc::cpuMissFill(std::size_t gset, Addr block, bool dirty, Cycles now)
+{
+    const std::uint64_t conflicts0 = stats_.ioEvictedByCpu;
+    cpuFill(gset, block, dirty);
+    if (telem_) {
+        telem_->cpuAccess(sliceOf(gset), false, now);
+        if (stats_.ioEvictedByCpu != conflicts0)
+            telem_->ioLineConflict(sliceOf(gset), now);
+    }
+}
+
 bool
 Llc::cpuRead(Addr paddr, Cycles now)
 {
@@ -237,10 +249,12 @@ Llc::cpuRead(Addr paddr, Cycles now)
     const int way = findWay(gset, block);
     if (way >= 0) {
         repl_->touch(gset, static_cast<unsigned>(way));
+        if (telem_)
+            telem_->cpuAccess(sliceOf(gset), true, now);
         return true;
     }
     ++stats_.cpuReadMisses;
-    cpuFill(gset, block, false);
+    cpuMissFill(gset, block, false, now);
     return false;
 }
 
@@ -269,6 +283,8 @@ Llc::cpuWrite(Addr paddr, Cycles now)
             ++stats_.invalidations;
             cpuFill(gset, block, true);
             --stats_.memReads; // on-chip move, not a demand fill
+            if (telem_)
+                telem_->cpuAccess(sliceOf(gset), true, now);
             return true;
         }
         l.dirty = true;
@@ -276,10 +292,12 @@ Llc::cpuWrite(Addr paddr, Cycles now)
         // or consumed the packet); it is no longer an I/O line.
         l.isIo = false;
         repl_->touch(gset, static_cast<unsigned>(way));
+        if (telem_)
+            telem_->cpuAccess(sliceOf(gset), true, now);
         return true;
     }
     ++stats_.cpuWriteMisses;
-    cpuFill(gset, block, true);
+    cpuMissFill(gset, block, true, now);
     return false;
 }
 
@@ -290,6 +308,9 @@ Llc::ioWrite(Addr paddr, Cycles now)
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
     policy_->onAccess(*this, gset, now);
+
+    const std::uint64_t allocs0 = stats_.ioAllocations;
+    const std::uint64_t displaced0 = stats_.cpuEvictedByIo;
 
     const int way = findWay(gset, block);
     if (way >= 0) {
@@ -309,9 +330,18 @@ Llc::ioWrite(Addr paddr, Cycles now)
             l.isIo = true;
             repl_->touch(gset, static_cast<unsigned>(way));
         }
+        if (telem_ && stats_.ioAllocations != allocs0) {
+            telem_->ioInjection(sliceOf(gset),
+                                stats_.cpuEvictedByIo != displaced0,
+                                now);
+        }
         return;
     }
     ioFill(gset, block);
+    if (telem_) {
+        telem_->ioInjection(sliceOf(gset),
+                            stats_.cpuEvictedByIo != displaced0, now);
+    }
 }
 
 void

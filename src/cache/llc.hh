@@ -29,6 +29,7 @@
 #include "cache/injection_policy.hh"
 #include "cache/replacement.hh"
 #include "cache/slice_hash.hh"
+#include "cache/telemetry.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -160,6 +161,24 @@ class Llc
     /** Reset all statistics counters (cache contents untouched). */
     void clearStats() { stats_ = LlcStats{}; }
 
+    /**
+     * Attach a hardware-counter telemetry probe (nullptr detaches).
+     * With no probe attached the access paths do no telemetry work at
+     * all, so detached behaviour is bit-identical to the pre-telemetry
+     * model. Not owned; must outlive the cache or be detached first.
+     */
+    void attachTelemetry(LlcTelemetry *probe) { telem_ = probe; }
+
+    /** The attached telemetry probe, or nullptr. */
+    LlcTelemetry *telemetry() const { return telem_; }
+
+    /** Slice group (slice index) of global set @p gset. */
+    unsigned
+    sliceOf(std::size_t gset) const
+    {
+        return static_cast<unsigned>(gset / cfg_.geom.setsPerSlice);
+    }
+
     // ------------------------------------------------------------------
     // Injection-policy mutation surface: policies rearrange set
     // contents only through these, so the writeback and partition
@@ -192,6 +211,7 @@ class Llc
     std::unique_ptr<ReplacementPolicy> repl_;
     std::vector<Line> lines_;      ///< totalSets x ways.
     LlcStats stats_;
+    LlcTelemetry *telem_ = nullptr; ///< Counter probe; null = off-path.
 
     Line &line(std::size_t gset, unsigned way);
     const Line &line(std::size_t gset, unsigned way) const;
@@ -210,6 +230,13 @@ class Llc
 
     /** Handle a CPU-side miss fill; returns the way filled. */
     unsigned cpuFill(std::size_t gset, Addr block, bool dirty);
+
+    /**
+     * The shared cpuRead/cpuWrite miss tail: fill, then report the
+     * miss -- and any I/O line the fill displaced -- to telemetry.
+     */
+    void cpuMissFill(std::size_t gset, Addr block, bool dirty,
+                     Cycles now);
 
     /** Handle a DDIO allocation. */
     void ioFill(std::size_t gset, Addr block);

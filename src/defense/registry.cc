@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "defense/gated_policy.hh"
+#include "detect/detector.hh"
 #include "nic/rss.hh"
 #include "sim/logging.hh"
 
@@ -27,12 +29,24 @@ tryParse(const std::string &text, Spec &out)
     const std::size_t colon = rest.find(':');
     out.hasParam = colon != std::string::npos;
     if (out.hasParam) {
-        const std::string digits = rest.substr(colon + 1);
+        const std::string param = rest.substr(colon + 1);
         rest = rest.substr(0, colon);
-        if (digits.empty() || digits.size() > 19 ||
-            digits.find_first_not_of("0123456789") != std::string::npos)
-            return false;
-        out.param = std::stoull(digits);
+        if (out.domain == "ring" && rest == "gated") {
+            // The one textual production: "<detector>:<inner>", with
+            // exactly one inner ':' and nothing empty on either side.
+            const std::size_t c2 = param.find(':');
+            if (c2 == std::string::npos || c2 == 0 ||
+                c2 + 1 >= param.size() ||
+                param.find(':', c2 + 1) != std::string::npos)
+                return false;
+            out.text = param;
+        } else {
+            if (param.empty() || param.size() > 19 ||
+                param.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                return false;
+            out.param = std::stoull(param);
+        }
     }
     if (rest.empty() || rest.find(':') != std::string::npos)
         return false;
@@ -160,6 +174,20 @@ Registry::Registry()
                     s.hasParam ? s.param
                                : nic::QuarantinePolicy::kDefaultDepth);
             });
+    addRing("gated",
+            "arm an inner ring defense only while a detector alarms "
+            "(\"ring.gated:<detector>:<inner>\")",
+            true,
+            [](const Spec &s) -> std::unique_ptr<nic::BufferPolicy> {
+                if (s.text.empty()) {
+                    fatal("defense::Registry: ring.gated needs "
+                          "\"ring.gated:<detector>:<inner>\"");
+                }
+                const std::string full = "ring.gated:" + s.text;
+                return std::make_unique<GatedPolicy>(
+                    gatedDetectorOf(full),
+                    makeRingPolicy(gatedInnerOf(full)));
+            });
 
     // --------------------------------------------------- cache built-ins
     addCache("no-ddio",
@@ -239,6 +267,19 @@ Registry::contains(const std::string &spec_text) const
     if (spec.domain == "nic")
         return validNicSpec(spec);
     if (spec.domain == "ring") {
+        if (spec.policy == "gated") {
+            // Instantiable only with a detector and a known inner
+            // policy; a bare "ring.gated" has nothing to gate. The
+            // non-fatal isGatedRingSpec guard keeps contains() from
+            // reaching the fatal accessors on anything malformed.
+            if (spec.text.empty())
+                return false;
+            const std::string full = "ring.gated:" + spec.text;
+            if (!isGatedRingSpec(full))
+                return false;
+            return detect::isDetectorName(gatedDetectorOf(full)) &&
+                contains(gatedInnerOf(full));
+        }
         const RingEntry *e = findEntry(ring_, spec.policy);
         return e && (!spec.hasParam || e->takesParam);
     }

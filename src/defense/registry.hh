@@ -13,6 +13,11 @@
  *     cache.no-ddio        cache.ddio         cache.ddio-ways:2
  *     cache.adaptive       nic.queues:4
  *
+ * One ring policy takes a textual parameter instead of a count: the
+ * detector-gated wrapper "ring.gated:<detector>:<inner>" (e.g.
+ * "ring.gated:cadence:partial.1000"), where <inner> is a ring policy
+ * with ':' spelled '.' -- see defense/gated_policy.hh.
+ *
  * A Cell pairs one ring spec with one cache spec and an optional nic
  * spec ("ring.partial:1000+cache.ddio+nic.queues:4") and is the unit
  * the defense-eval grids cross: grid builders are data-driven lists of
@@ -47,6 +52,13 @@ struct Spec
     std::string policy;       ///< e.g. "partial", "ddio-ways", "queues".
     bool hasParam = false;
     std::uint64_t param = 0;  ///< Meaningful only when hasParam.
+
+    /**
+     * Raw textual parameter ("<detector>:<inner>"); non-empty only
+     * for the "ring.gated" production, whose parameter is not a
+     * count.
+     */
+    std::string text;
 };
 
 /**

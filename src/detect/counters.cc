@@ -1,0 +1,250 @@
+#include "counters.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace pktchase::detect
+{
+
+// ------------------------------------------------------ LlcCounterProbe --
+
+LlcCounterProbe::LlcCounterProbe(sim::CounterBus &bus, unsigned groups)
+    : bus_(bus), groups_(groups)
+{
+    reset();
+}
+
+void
+LlcCounterProbe::reset()
+{
+    acc_ = Acc{};
+    acc_.groupMisses.assign(groups_, 0);
+    acc_.groupFills.assign(groups_, 0);
+}
+
+void
+LlcCounterProbe::publishEpoch(std::uint64_t epoch)
+{
+    const Cycles width = bus_.epochCycles();
+    sim::CounterSample s;
+    s.source = "llc";
+    s.epoch = epoch;
+    s.start = epoch * width;
+    s.end = s.start + width;
+    s.set("cpu_accesses", static_cast<double>(acc_.cpuAccesses));
+    s.set("cpu_misses", static_cast<double>(acc_.cpuMisses));
+    s.set("miss_rate", acc_.cpuAccesses > 0
+        ? static_cast<double>(acc_.cpuMisses) /
+            static_cast<double>(acc_.cpuAccesses)
+        : 0.0);
+    s.set("ddio_fills", static_cast<double>(acc_.ddioFills));
+    s.set("ddio_cpu_displaced",
+          static_cast<double>(acc_.ddioCpuDisplaced));
+    s.set("io_conflicts", static_cast<double>(acc_.ioConflicts));
+    for (unsigned g = 0; g < groups_; ++g) {
+        const std::string prefix = "g" + std::to_string(g);
+        s.set(prefix + ".misses",
+              static_cast<double>(acc_.groupMisses[g]));
+        s.set(prefix + ".fills",
+              static_cast<double>(acc_.groupFills[g]));
+    }
+    bus_.publish(s);
+}
+
+void
+LlcCounterProbe::roll(Cycles now)
+{
+    const std::uint64_t target = now / bus_.epochCycles();
+    if (target <= epoch_)
+        return;
+    if (target - epoch_ > kMaxCatchUp) {
+        // A long idle gap: publish what accumulated, then resume the
+        // zero-filled series a bounded distance before the present so
+        // detector windows refill with genuine idle epochs without
+        // paying for the whole gap.
+        publishEpoch(epoch_);
+        reset();
+        epoch_ = target - kMaxCatchUp;
+    }
+    while (epoch_ < target) {
+        publishEpoch(epoch_);
+        reset();
+        ++epoch_;
+    }
+}
+
+void
+LlcCounterProbe::cpuAccess(unsigned group, bool hit, Cycles now)
+{
+    roll(now);
+    acc_.any = true;
+    ++acc_.cpuAccesses;
+    if (!hit) {
+        ++acc_.cpuMisses;
+        if (group < groups_)
+            ++acc_.groupMisses[group];
+    }
+}
+
+void
+LlcCounterProbe::ioInjection(unsigned group, bool displaced_cpu_line,
+                             Cycles now)
+{
+    roll(now);
+    acc_.any = true;
+    ++acc_.ddioFills;
+    if (displaced_cpu_line)
+        ++acc_.ddioCpuDisplaced;
+    if (group < groups_)
+        ++acc_.groupFills[group];
+}
+
+void
+LlcCounterProbe::ioLineConflict(unsigned group, Cycles now)
+{
+    (void)group;
+    roll(now);
+    acc_.any = true;
+    ++acc_.ioConflicts;
+}
+
+void
+LlcCounterProbe::flush(Cycles now)
+{
+    roll(now);
+    if (acc_.any) {
+        publishEpoch(epoch_);
+        reset();
+        ++epoch_;
+    }
+}
+
+// ------------------------------------------------------- RxCounterProbe --
+
+RxCounterProbe::RxCounterProbe(sim::CounterBus &bus, std::size_t queues)
+    : bus_(bus), queues_(queues), aggCounts_(queues, 0)
+{
+}
+
+void
+RxCounterProbe::publishAggregate(std::uint64_t epoch)
+{
+    const Cycles width = bus_.epochCycles();
+    const double n = static_cast<double>(aggTotal_);
+
+    const std::vector<double> counts(aggCounts_.begin(),
+                                     aggCounts_.end());
+    const double norm = normalizedShannonEntropy(counts);
+
+    sim::CounterSample s;
+    s.source = "rxagg";
+    s.epoch = epoch;
+    s.start = epoch * width;
+    s.end = s.start + width;
+    s.set("total", n);
+    for (std::size_t q = 0; q < aggCounts_.size(); ++q)
+        s.set("q" + std::to_string(q),
+              static_cast<double>(aggCounts_[q]));
+    s.set("entropy", norm);
+    bus_.publish(s);
+
+    aggCounts_.assign(aggCounts_.size(), 0);
+    aggTotal_ = 0;
+}
+
+void
+RxCounterProbe::publishEpoch(std::size_t queue, std::uint64_t epoch)
+{
+    QueueState &qs = queues_[queue];
+    const Cycles width = bus_.epochCycles();
+
+    // Shannon entropy of the epoch's page histogram, normalized by
+    // the most even split n recycles allow. The counts come out of an
+    // unordered_map, whose iteration order is hash/stdlib-dependent,
+    // and FP addition is not associative -- sort before summing so
+    // the value is platform-stable and safe to pin.
+    const double n = static_cast<double>(qs.recycles);
+    std::vector<double> counts;
+    counts.reserve(qs.pageCounts.size());
+    for (const auto &kv : qs.pageCounts)
+        counts.push_back(static_cast<double>(kv.second));
+    std::sort(counts.begin(), counts.end());
+    const double norm = qs.recycles >= 2
+        ? shannonEntropyBits(counts) / std::log2(n) : 1.0;
+
+    sim::CounterSample s;
+    s.source = "rxq" + std::to_string(queue);
+    s.epoch = epoch;
+    s.start = epoch * width;
+    s.end = s.start + width;
+    s.set("recycles", n);
+    s.set("pages", static_cast<double>(qs.pageCounts.size()));
+    s.set("reuse_mean", qs.reuseCount > 0
+        ? static_cast<double>(qs.reuseSum) /
+            static_cast<double>(qs.reuseCount)
+        : 0.0);
+    s.set("entropy", norm);
+    bus_.publish(s);
+
+    qs.recycles = 0;
+    qs.reuseSum = 0;
+    qs.reuseCount = 0;
+    qs.pageCounts.clear();
+}
+
+void
+RxCounterProbe::onRecycle(std::size_t queue, std::size_t slot,
+                          Addr page, Cycles now)
+{
+    (void)slot;
+    if (queue >= queues_.size())
+        return;
+    QueueState &qs = queues_[queue];
+
+    const std::uint64_t target = now / bus_.epochCycles();
+    if (target > qs.epoch) {
+        if (qs.recycles > 0)
+            publishEpoch(queue, qs.epoch);
+        qs.epoch = target;
+    }
+    if (target > aggEpoch_) {
+        if (aggTotal_ > 0)
+            publishAggregate(aggEpoch_);
+        aggEpoch_ = target;
+    }
+
+    ++qs.recycleOrdinal;
+    auto it = qs.lastSeen.find(page);
+    if (it != qs.lastSeen.end()) {
+        qs.reuseSum += qs.recycleOrdinal - it->second;
+        ++qs.reuseCount;
+        it->second = qs.recycleOrdinal;
+    } else {
+        qs.lastSeen.emplace(page, qs.recycleOrdinal);
+    }
+    ++qs.recycles;
+    ++qs.pageCounts[page];
+    ++aggCounts_[queue];
+    ++aggTotal_;
+}
+
+void
+RxCounterProbe::flush(Cycles now)
+{
+    const std::uint64_t target = now / bus_.epochCycles();
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        QueueState &qs = queues_[q];
+        if (qs.recycles > 0) {
+            publishEpoch(q, qs.epoch);
+            qs.epoch = target;
+        }
+    }
+    if (aggTotal_ > 0) {
+        publishAggregate(aggEpoch_);
+        aggEpoch_ = target;
+    }
+}
+
+} // namespace pktchase::detect

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Counter probes: the glue between the hardware emitters' telemetry
+ * hooks (cache::LlcTelemetry, nic::RxTelemetry) and sim::CounterBus.
+ *
+ * Each probe accumulates event counts and publishes one CounterSample
+ * per completed epoch. Epochs roll lazily, driven by the timestamps
+ * of the events themselves (there is no timer agent in the model), so
+ * a probe can only notice an epoch boundary when the next event
+ * arrives; the final partial epoch of a run is published by flush().
+ *
+ * The LLC probe zero-fills empty epochs (bounded by kMaxCatchUp) so
+ * its per-epoch series is uniformly sampled -- the cadence detector's
+ * autocorrelation lags are only meaningful on a uniform grid. The
+ * per-queue recycle probe does not: its consumers score sample values,
+ * not sample spacing, and a queue can be legitimately idle for long
+ * stretches.
+ */
+
+#ifndef PKTCHASE_DETECT_COUNTERS_HH
+#define PKTCHASE_DETECT_COUNTERS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/telemetry.hh"
+#include "nic/telemetry.hh"
+#include "sim/counter_bus.hh"
+#include "sim/types.hh"
+
+namespace pktchase::detect
+{
+
+/**
+ * LLC counter probe. Publishes one "llc" sample per epoch with:
+ *
+ *   cpu_accesses, cpu_misses, miss_rate   CPU-side reference/miss pair
+ *   ddio_fills                            DDIO allocations (injections)
+ *   ddio_cpu_displaced                    ... that displaced a CPU line
+ *   io_conflicts                          I/O lines displaced by CPU
+ *                                         fills (priming signature)
+ *   g<k>.misses, g<k>.fills               the same, per slice group
+ */
+class LlcCounterProbe : public cache::LlcTelemetry
+{
+  public:
+    /** Empty-epoch zero-fill bound per catch-up (see file comment). */
+    static constexpr std::uint64_t kMaxCatchUp = 256;
+
+    /**
+     * @param bus    Destination bus (also defines the epoch width).
+     * @param groups Slice-group count (the LLC geometry's slices).
+     */
+    LlcCounterProbe(sim::CounterBus &bus, unsigned groups);
+
+    void cpuAccess(unsigned group, bool hit, Cycles now) override;
+    void ioInjection(unsigned group, bool displaced_cpu_line,
+                     Cycles now) override;
+    void ioLineConflict(unsigned group, Cycles now) override;
+
+    /** Publish the current partial epoch, if it saw any event. */
+    void flush(Cycles now);
+
+  private:
+    struct Acc
+    {
+        std::uint64_t cpuAccesses = 0;
+        std::uint64_t cpuMisses = 0;
+        std::uint64_t ddioFills = 0;
+        std::uint64_t ddioCpuDisplaced = 0;
+        std::uint64_t ioConflicts = 0;
+        std::vector<std::uint64_t> groupMisses;
+        std::vector<std::uint64_t> groupFills;
+        bool any = false;
+    };
+
+    /** Publish completed epochs up to the one containing @p now. */
+    void roll(Cycles now);
+
+    void publishEpoch(std::uint64_t epoch);
+    void reset();
+
+    sim::CounterBus &bus_;
+    unsigned groups_;
+    std::uint64_t epoch_ = 0;
+    Acc acc_;
+};
+
+/**
+ * Per-receive-queue recycle probe. Publishes one "rxq<k>" sample per
+ * epoch in which queue k recycled at least one buffer:
+ *
+ *   recycles       buffers recycled this epoch
+ *   pages          distinct backing pages among them
+ *   reuse_mean     mean recycle distance (recycles since the same
+ *                  page last backed a fill on this queue; first
+ *                  sightings excluded)
+ *   entropy        Shannon entropy (bits) of the epoch's page
+ *                  histogram, normalized by log2(recycles) to [0, 1]
+ *                  (1 when recycles < 2)
+ *
+ * plus one "rxagg" sample per non-empty epoch with the cross-queue
+ * recycle distribution:
+ *
+ *   total          recycles across every queue this epoch
+ *   q<k>           queue k's share of them (a count)
+ *   entropy        Shannon entropy of the distribution, normalized
+ *                  by log2(queues) to [0, 1] (1 when queues == 1)
+ *
+ * The per-queue page-histogram entropy characterizes the *defense*
+ * (a randomizing policy raises it; the bare ring pins it at the ring
+ * size), while the aggregate's cross-queue entropy is the
+ * attacker-visible signal: a trojan or covert sender hammering one
+ * flow concentrates recycles on one queue, collapsing it -- what
+ * detect::ReuseEntropyDrop scores.
+ */
+class RxCounterProbe : public nic::RxTelemetry
+{
+  public:
+    /**
+     * @param bus    Destination bus (also defines the epoch width).
+     * @param queues Receive-queue count of the instrumented driver.
+     */
+    RxCounterProbe(sim::CounterBus &bus, std::size_t queues);
+
+    void onRecycle(std::size_t queue, std::size_t slot, Addr page,
+                   Cycles now) override;
+
+    /** Publish every queue's current partial epoch. */
+    void flush(Cycles now);
+
+  private:
+    struct QueueState
+    {
+        std::uint64_t epoch = 0;
+        std::uint64_t recycleOrdinal = 0; ///< Lifetime recycle count.
+
+        // Epoch accumulators.
+        std::uint64_t recycles = 0;
+        std::uint64_t reuseSum = 0;
+        std::uint64_t reuseCount = 0;
+        std::unordered_map<Addr, std::uint64_t> pageCounts;
+
+        /** page -> ordinal of its last recycle (lifetime). */
+        std::unordered_map<Addr, std::uint64_t> lastSeen;
+    };
+
+    void publishEpoch(std::size_t queue, std::uint64_t epoch);
+    void publishAggregate(std::uint64_t epoch);
+
+    sim::CounterBus &bus_;
+    std::vector<QueueState> queues_;
+
+    // Cross-queue aggregate epoch state.
+    std::uint64_t aggEpoch_ = 0;
+    std::vector<std::uint64_t> aggCounts_;
+    std::uint64_t aggTotal_ = 0;
+};
+
+} // namespace pktchase::detect
+
+#endif // PKTCHASE_DETECT_COUNTERS_HH

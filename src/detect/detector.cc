@@ -1,0 +1,257 @@
+#include "detector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace pktchase::detect
+{
+
+// ------------------------------------------------------------ Detector --
+
+const Score *
+Detector::onSample(const sim::CounterSample &s)
+{
+    double score = 0.0;
+    if (!evaluate(s, score))
+        return nullptr;
+    Score sc;
+    sc.epoch = s.epoch;
+    sc.when = s.end;
+    sc.score = score;
+    sc.alarm = score > threshold_;
+    if (sc.alarm)
+        ++alarms_;
+    scores_.push_back(sc);
+    return &scores_.back();
+}
+
+std::vector<Cycles>
+Detector::alarmTimes() const
+{
+    std::vector<Cycles> out;
+    for (const Score &sc : scores_)
+        if (sc.alarm)
+            out.push_back(sc.when);
+    return out;
+}
+
+// -------------------------------------------------------- MissRateSpike --
+
+MissRateSpike::MissRateSpike(const DetectorConfig &cfg)
+    : Detector(cfg.threshold > 0.0 ? cfg.threshold : kDefaultThreshold),
+      window_(cfg.window), short_(cfg.shortWindow)
+{
+    if (window_ < 2 || short_ < 1)
+        fatal("MissRateSpike: window must be >= 2 and shortWindow >= 1");
+}
+
+bool
+MissRateSpike::evaluate(const sim::CounterSample &s, double &score)
+{
+    if (s.source != "llc")
+        return false;
+    const double x = s.value("cpu_misses");
+    score = 0.0;
+
+    if (!frozen_) {
+        // Deploy-time calibration: collect the baseline, score zero.
+        calib_.push_back(x);
+        if (calib_.size() >= window_) {
+            for (double v : calib_)
+                mean_ += v;
+            mean_ /= static_cast<double>(calib_.size());
+            double var = 0.0;
+            for (double v : calib_) {
+                const double e = v - mean_;
+                var += e * e;
+            }
+            sd_ = std::sqrt(var / static_cast<double>(calib_.size()));
+            calib_.clear();
+            calib_.shrink_to_fit();
+            frozen_ = true;
+        }
+        return true;
+    }
+
+    recent_.push_back(x);
+    if (recent_.size() > short_)
+        recent_.pop_front();
+    double m = 0.0;
+    for (double v : recent_)
+        m += v;
+    m /= static_cast<double>(recent_.size());
+    score = (m - mean_) / std::max(sd_, kMinSigma);
+    return true;
+}
+
+// ----------------------------------------------------- ReuseEntropyDrop --
+
+ReuseEntropyDrop::ReuseEntropyDrop(const DetectorConfig &cfg)
+    : Detector(cfg.threshold > 0.0 ? cfg.threshold : kDefaultThreshold),
+      window_(cfg.window), short_(cfg.entropyShort)
+{
+    if (window_ < 2 || short_ < 1)
+        fatal("ReuseEntropyDrop: window must be >= 2 and "
+              "entropyShort >= 1");
+}
+
+bool
+ReuseEntropyDrop::evaluate(const sim::CounterSample &s, double &score)
+{
+    if (s.source != "rxagg")
+        return false;
+
+    std::vector<double> counts;
+    for (const auto &kv : s.values)
+        if (!kv.first.empty() && kv.first[0] == 'q')
+            counts.push_back(kv.second);
+    score = 0.0;
+
+    if (!frozen_) {
+        // Deploy-time calibration: sum the span's counts into one
+        // well-populated distribution estimate, then freeze its
+        // entropy as the baseline.
+        if (calibCounts_.size() < counts.size())
+            calibCounts_.resize(counts.size(), 0.0);
+        for (std::size_t q = 0; q < counts.size(); ++q)
+            calibCounts_[q] += counts[q];
+        if (++calibSamples_ >= window_) {
+            baseEntropy_ = normalizedShannonEntropy(calibCounts_);
+            calibCounts_.clear();
+            calibCounts_.shrink_to_fit();
+            frozen_ = true;
+        }
+        return true;
+    }
+
+    recent_.push_back(std::move(counts));
+    if (recent_.size() > short_)
+        recent_.pop_front();
+    if (recent_.size() < short_)
+        return true;
+
+    std::vector<double> sum;
+    for (const auto &c : recent_) {
+        if (sum.size() < c.size())
+            sum.resize(c.size(), 0.0);
+        for (std::size_t q = 0; q < c.size(); ++q)
+            sum[q] += c[q];
+    }
+
+    // A drop below baseline scores positive; gains clamp at zero so
+    // a defense raising entropy cannot read as an attack.
+    score = std::max(0.0,
+                     baseEntropy_ - normalizedShannonEntropy(sum));
+    return true;
+}
+
+// --------------------------------------------------------- ProbeCadence --
+
+ProbeCadence::ProbeCadence(const DetectorConfig &cfg)
+    : Detector(cfg.threshold > 0.0 ? cfg.threshold : kDefaultThreshold),
+      window_(cfg.window), minLag_(cfg.minLag),
+      maxLag_(cfg.maxLag > 0 ? cfg.maxLag : cfg.window / 2),
+      minEvents_(cfg.minEvents)
+{
+    if (window_ < 8)
+        fatal("ProbeCadence: window must be >= 8");
+    if (minLag_ < 1 || maxLag_ <= minLag_ || maxLag_ >= window_)
+        fatal("ProbeCadence: need 1 <= minLag < maxLag < window");
+}
+
+bool
+ProbeCadence::evaluate(const sim::CounterSample &s, double &score)
+{
+    if (s.source != "llc")
+        return false;
+
+    hist_.push_back(s.value("io_conflicts"));
+    if (hist_.size() > window_)
+        hist_.pop_front();
+    score = 0.0;
+    if (hist_.size() < window_)
+        return true;
+
+    double mean = 0.0, total = 0.0;
+    for (double x : hist_)
+        total += x;
+    mean = total / static_cast<double>(window_);
+    double var = 0.0;
+    for (double x : hist_) {
+        const double e = x - mean;
+        var += e * e;
+    }
+    if (var <= 0.0 || total < minEvents_)
+        return true;
+
+    // Normalized autocorrelation peak over the candidate periods. The
+    // attacker's probe loop is the only agent that displaces I/O lines
+    // on a fixed period, so a high peak means "someone is priming the
+    // ring's sets on a schedule".
+    double best = 0.0;
+    unsigned best_lag = 0;
+    for (unsigned lag = minLag_; lag <= maxLag_; ++lag) {
+        double acc = 0.0;
+        for (unsigned t = 0; t + lag < window_; ++t)
+            acc += (hist_[t] - mean) * (hist_[t + lag] - mean);
+        const double r = acc / var;
+        if (r > best) {
+            best = r;
+            best_lag = lag;
+        }
+    }
+    bestLag_ = best_lag;
+    score = best;
+    return true;
+}
+
+// ------------------------------------------------------------- factory --
+
+std::vector<std::string>
+detectorNames()
+{
+    return {"cadence", "entropy-drop", "miss-spike"};
+}
+
+bool
+isDetectorName(const std::string &name)
+{
+    const auto names = detectorNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::unique_ptr<Detector>
+makeDetector(const std::string &name, const DetectorConfig &cfg)
+{
+    if (name == "miss-spike")
+        return std::make_unique<MissRateSpike>(cfg);
+    if (name == "entropy-drop")
+        return std::make_unique<ReuseEntropyDrop>(cfg);
+    if (name == "cadence")
+        return std::make_unique<ProbeCadence>(cfg);
+    fatal("detect::makeDetector: unknown detector \"" + name +
+          "\" (known: cadence, entropy-drop, miss-spike)");
+}
+
+double
+aucScore(std::vector<double> positives, std::vector<double> negatives)
+{
+    if (positives.empty() || negatives.empty())
+        return 0.5;
+    std::sort(negatives.begin(), negatives.end());
+    double wins = 0.0;
+    for (double p : positives) {
+        const auto lo = std::lower_bound(negatives.begin(),
+                                         negatives.end(), p);
+        const auto hi = std::upper_bound(lo, negatives.end(), p);
+        wins += static_cast<double>(lo - negatives.begin());
+        wins += 0.5 * static_cast<double>(hi - lo);
+    }
+    return wins / (static_cast<double>(positives.size()) *
+                   static_cast<double>(negatives.size()));
+}
+
+} // namespace pktchase::detect

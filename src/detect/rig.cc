@@ -1,0 +1,61 @@
+#include "rig.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::detect
+{
+
+DetectionRig::DetectionRig(cache::Hierarchy &hier,
+                           nic::IgbDriver &driver, const RigConfig &cfg)
+    : hier_(hier), driver_(driver), cfg_(cfg), bus_(cfg.epochCycles),
+      llcProbe_(bus_, hier.llc().geometry().slices),
+      rxProbe_(bus_, driver.numQueues())
+{
+    for (const std::string &name : cfg_.detectors) {
+        auto det = makeDetector(name, cfg_.detector);
+        Detector *raw = det.get();
+        bus_.subscribe([raw](const sim::CounterSample &s) {
+            raw->onSample(s);
+        });
+        detectors_.push_back(std::move(det));
+    }
+    if (!cfg_.gateDetector.empty()) {
+        gate_ = std::make_unique<GateController>(
+            makeDetector(cfg_.gateDetector, cfg_.detector), cfg_.gate);
+        gate_->connect(bus_);
+    }
+
+    // Refuse to steal another rig's probes: overwriting them would
+    // silently starve the first rig (and detach it for good when this
+    // one dies), turning its gated defense off with no diagnostic.
+    if (hier_.llc().telemetry() || driver_.telemetry()) {
+        fatal("DetectionRig: a telemetry probe is already attached to "
+              "this hierarchy/driver (one rig per testbed)");
+    }
+    hier_.llc().attachTelemetry(&llcProbe_);
+    driver_.attachTelemetry(&rxProbe_);
+}
+
+DetectionRig::~DetectionRig()
+{
+    hier_.llc().attachTelemetry(nullptr);
+    driver_.attachTelemetry(nullptr);
+}
+
+Detector &
+DetectionRig::detector(const std::string &name)
+{
+    for (auto &det : detectors_)
+        if (det->name() == name)
+            return *det;
+    fatal("DetectionRig: no hosted detector named \"" + name + "\"");
+}
+
+void
+DetectionRig::flush(Cycles now)
+{
+    llcProbe_.flush(now);
+    rxProbe_.flush(now);
+}
+
+} // namespace pktchase::detect

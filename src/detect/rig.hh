@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The detection rig: one assembled telemetry + detection stack over a
+ * (hierarchy, driver) pair.
+ *
+ * Construction wires everything: a CounterBus at the configured epoch
+ * width, an LlcCounterProbe attached to the LLC, an RxCounterProbe
+ * attached to the driver, one hosted Detector per requested name
+ * (score-only consumers -- the figD1 ROC cells read their streams),
+ * and optionally one GateController (for detector-gated defenses).
+ * Destruction detaches the probes, restoring the zero-cost off-path.
+ *
+ * A rig is testbed-local: campaign cells each own a private rig, so
+ * the detection layer inherits the runtime's determinism contract.
+ */
+
+#ifndef PKTCHASE_DETECT_RIG_HH
+#define PKTCHASE_DETECT_RIG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "detect/counters.hh"
+#include "detect/detector.hh"
+#include "detect/gate.hh"
+#include "nic/igb_driver.hh"
+#include "sim/counter_bus.hh"
+
+namespace pktchase::detect
+{
+
+/** What to assemble. */
+struct RigConfig
+{
+    Cycles epochCycles = sim::kDefaultEpochCycles;
+
+    /** Hosted score-only detectors, by name. */
+    std::vector<std::string> detectors;
+
+    /** Detector arming a gate; "" = no gate. */
+    std::string gateDetector;
+
+    DetectorConfig detector; ///< Tuning shared by every instance.
+    GateConfig gate;
+};
+
+/**
+ * Owns the bus, the probes, the hosted detectors, and the gate.
+ */
+class DetectionRig
+{
+  public:
+    DetectionRig(cache::Hierarchy &hier, nic::IgbDriver &driver,
+                 const RigConfig &cfg);
+    ~DetectionRig();
+
+    DetectionRig(const DetectionRig &) = delete;
+    DetectionRig &operator=(const DetectionRig &) = delete;
+
+    sim::CounterBus &bus() { return bus_; }
+
+    /** Hosted detector named @p name; fatal when absent. */
+    Detector &detector(const std::string &name);
+
+    /** All hosted detectors, in RigConfig order. */
+    const std::vector<std::unique_ptr<Detector>> &detectors() const
+    {
+        return detectors_;
+    }
+
+    /** The gate, or nullptr when RigConfig::gateDetector was empty. */
+    GateController *gate() { return gate_.get(); }
+    const GateController *gate() const { return gate_.get(); }
+
+    /** Publish both probes' partial epochs (end of a run). */
+    void flush(Cycles now);
+
+    const RigConfig &config() const { return cfg_; }
+
+  private:
+    cache::Hierarchy &hier_;
+    nic::IgbDriver &driver_;
+    RigConfig cfg_;
+    sim::CounterBus bus_;
+    LlcCounterProbe llcProbe_;
+    RxCounterProbe rxProbe_;
+    std::vector<std::unique_ptr<Detector>> detectors_;
+    std::unique_ptr<GateController> gate_;
+};
+
+} // namespace pktchase::detect
+
+#endif // PKTCHASE_DETECT_RIG_HH

@@ -50,6 +50,7 @@
 #include "nic/frame.hh"
 #include "nic/rss.hh"
 #include "nic/rx_ring.hh"
+#include "nic/telemetry.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -337,6 +338,17 @@ class IgbDriver
     /** Frame source, for policies that own spare pages. */
     mem::PhysMem &phys() { return phys_; }
 
+    /**
+     * Attach a recycle-telemetry probe spanning every queue (nullptr
+     * detaches). Detached (the default), the receive path does no
+     * telemetry work. Not owned; must outlive the driver or be
+     * detached first.
+     */
+    void attachTelemetry(RxTelemetry *probe) { telem_ = probe; }
+
+    /** The attached telemetry probe, or nullptr. */
+    RxTelemetry *telemetry() const { return telem_; }
+
   private:
     friend class RxQueue;
 
@@ -345,6 +357,7 @@ class IgbDriver
     cache::Hierarchy &hier_;
     RssSteering rss_;
     std::vector<std::unique_ptr<RxQueue>> queues_;
+    RxTelemetry *telem_ = nullptr; ///< Counter probe; null = off-path.
 
     /** Small reused pool of skb pages for copy-break destinations,
      *  shared across queues like the kernel's skb allocator. */

@@ -1,0 +1,104 @@
+#include "bench_report.hh"
+
+#include <cstdio>
+
+namespace pktchase::sim
+{
+
+const std::vector<std::string> kPercentileKeys = {
+    "p50", "p90", "p99", "p99_9", "p99_99",
+};
+
+namespace
+{
+
+/** Escape the characters JSON string literals cannot hold raw. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** One metrics map as {"k": v, ...} with a parallel hexfloat map. */
+void
+writeMetrics(FILE *f, const BenchReport::Metrics &metrics,
+             const char *indent)
+{
+    std::fprintf(f, "%s\"metrics\": {", indent);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.17g", i ? ", " : "",
+                     jsonEscape(metrics[i].first).c_str(),
+                     metrics[i].second);
+    }
+    std::fprintf(f, "},\n%s\"hex\": {", indent);
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": \"%a\"", i ? ", " : "",
+                     jsonEscape(metrics[i].first).c_str(),
+                     metrics[i].second);
+    }
+    std::fprintf(f, "}");
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+BenchReport::scalar(const std::string &key, double value)
+{
+    for (auto &kv : scalars_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    scalars_.emplace_back(key, value);
+}
+
+void
+BenchReport::cell(const std::string &name, const Metrics &metrics)
+{
+    cells_.emplace_back(name, metrics);
+}
+
+bool
+BenchReport::write(const std::string &path) const
+{
+    const std::string target =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    FILE *f = std::fopen(target.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "BenchReport: cannot write %s\n",
+                     target.c_str());
+        return false;
+    }
+
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
+                 jsonEscape(name_).c_str());
+    for (const auto &kv : scalars_) {
+        std::fprintf(f, "  \"%s\": %.17g,\n",
+                     jsonEscape(kv.first).c_str(), kv.second);
+    }
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        std::fprintf(f, "    {\"name\": \"%s\",\n",
+                     jsonEscape(cells_[i].first).c_str());
+        writeMetrics(f, cells_[i].second, "     ");
+        std::fprintf(f, "}%s\n", i + 1 < cells_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+} // namespace pktchase::sim

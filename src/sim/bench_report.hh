@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared bench-summary emission: the one place that knows how a bench
+ * serializes its cells into a BENCH_<name>.json artifact and which
+ * metric keys make up the standard latency-percentile row.
+ *
+ * Every metric is emitted twice: as a readable decimal and as a C99
+ * hexfloat ("%a"), so performance-tracking tooling can diff artifacts
+ * bit-exactly across commits the same way the golden tests diff
+ * formatReport() output. The benches (fig14, fig16, fingerprint,
+ * detection) all route their JSON through this helper instead of
+ * hand-rolling fprintf blocks.
+ *
+ * Lives in sim so every layer above (bench front-ends, workload
+ * harnesses) can use it; cells are plain (name, metrics) pairs --
+ * runtime::ScenarioResult::metrics is exactly the accepted shape.
+ */
+
+#ifndef PKTCHASE_SIM_BENCH_REPORT_HH
+#define PKTCHASE_SIM_BENCH_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pktchase::sim
+{
+
+/** The latency-percentile keys the latency grids emit, in order. */
+extern const std::vector<std::string> kPercentileKeys;
+
+/**
+ * Accumulates named scalars and cells, then writes
+ * BENCH_<name>.json.
+ */
+class BenchReport
+{
+  public:
+    using Metrics = std::vector<std::pair<std::string, double>>;
+
+    /** @param name Artifact stem: BENCH_<name>.json. */
+    explicit BenchReport(std::string name);
+
+    /** Set a top-level scalar (insertion-ordered; last write wins). */
+    void scalar(const std::string &key, double value);
+
+    /** Append one cell. @p metrics is copied. */
+    void cell(const std::string &name, const Metrics &metrics);
+
+    /**
+     * Write the artifact. @p path overrides the default
+     * "BENCH_<name>.json".
+     * @return false (with a message on stderr) when the file cannot
+     *         be written.
+     */
+    bool write(const std::string &path = "") const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    Metrics scalars_;
+    std::vector<std::pair<std::string, Metrics>> cells_;
+};
+
+} // namespace pktchase::sim
+
+#endif // PKTCHASE_SIM_BENCH_REPORT_HH

@@ -1,0 +1,50 @@
+#include "counter_bus.hh"
+
+#include "sim/logging.hh"
+
+namespace pktchase::sim
+{
+
+double
+CounterSample::value(const std::string &key) const
+{
+    for (const auto &kv : values)
+        if (kv.first == key)
+            return kv.second;
+    fatal("CounterSample: no value named '" + key + "' in sample from '" +
+          source + "'");
+}
+
+bool
+CounterSample::has(const std::string &key) const
+{
+    for (const auto &kv : values)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+CounterBus::CounterBus(Cycles epoch_cycles)
+    : epochCycles_(epoch_cycles)
+{
+    if (epochCycles_ == 0)
+        fatal("CounterBus: epoch width must be nonzero");
+}
+
+void
+CounterBus::subscribe(Subscriber s)
+{
+    if (!s)
+        fatal("CounterBus: cannot subscribe an empty callback");
+    subs_.push_back(std::move(s));
+}
+
+void
+CounterBus::publish(const CounterSample &s)
+{
+    ++published_;
+    for (const Subscriber &sub : subs_)
+        sub(s);
+}
+
+} // namespace pktchase::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware-counter telemetry bus: the transport between counter
+ * probes embedded in the simulated hardware (cache::Llc DMA/miss
+ * counters, nic::RxQueue recycle counters) and online consumers
+ * (detect::Detector implementations, recording harnesses).
+ *
+ * The model mirrors how a production stack samples PMU/NIC counters:
+ * each probe accumulates event counts and, on a fixed epoch boundary
+ * (in cycles), publishes one CounterSample naming its source and the
+ * epoch's values. The bus itself is dumb fan-out -- subscribers see
+ * samples in publish order, synchronously, on the simulating thread.
+ *
+ * Off-path guarantee: emitters hold a nullable probe pointer and skip
+ * all telemetry work when it is null (the default), so an experiment
+ * that attaches no rig executes the exact same loads, stores, and RNG
+ * draws as before the telemetry layer existed -- the golden-trace
+ * tests pin this.
+ */
+
+#ifndef PKTCHASE_SIM_COUNTER_BUS_HH
+#define PKTCHASE_SIM_COUNTER_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pktchase::sim
+{
+
+/**
+ * Default telemetry epoch: ~6 us of core cycles. Short enough that a
+ * 40 kpps packet stream lands one packet every ~4 epochs (so cadence
+ * detectors can see periodicity), long enough that per-epoch counter
+ * deltas are statistically meaningful.
+ */
+constexpr Cycles kDefaultEpochCycles = 20000;
+
+/** One epoch's worth of counter values from one telemetry source. */
+struct CounterSample
+{
+    /** Source name: "llc", or "rxq<k>" for receive queue k. */
+    std::string source;
+
+    std::uint64_t epoch = 0;  ///< Epoch index (start / epochCycles).
+    Cycles start = 0;         ///< First cycle of the epoch.
+    Cycles end = 0;           ///< One past the last cycle.
+
+    /** Named counter values, in emission order. */
+    std::vector<std::pair<std::string, double>> values;
+
+    /** Append one named value. */
+    void
+    set(const std::string &key, double v)
+    {
+        values.emplace_back(key, v);
+    }
+
+    /** Look up a value by name; fatal() when absent. */
+    double value(const std::string &key) const;
+
+    /** Whether a value named @p key exists. */
+    bool has(const std::string &key) const;
+};
+
+/**
+ * Fan-out bus for counter samples. Owns the epoch width so every
+ * probe publishing into it samples on the same grid.
+ */
+class CounterBus
+{
+  public:
+    using Subscriber = std::function<void(const CounterSample &)>;
+
+    explicit CounterBus(Cycles epoch_cycles = kDefaultEpochCycles);
+
+    /** Epoch width in cycles (never zero). */
+    Cycles epochCycles() const { return epochCycles_; }
+
+    /** Attach a subscriber; samples arrive in subscription order. */
+    void subscribe(Subscriber s);
+
+    /** Whether anything is listening. */
+    bool hasSubscribers() const { return !subs_.empty(); }
+
+    /** Deliver @p s to every subscriber, in subscription order. */
+    void publish(const CounterSample &s);
+
+    /** Total samples published so far. */
+    std::uint64_t published() const { return published_; }
+
+  private:
+    Cycles epochCycles_;
+    std::vector<Subscriber> subs_;
+    std::uint64_t published_ = 0;
+};
+
+} // namespace pktchase::sim
+
+#endif // PKTCHASE_SIM_COUNTER_BUS_HH

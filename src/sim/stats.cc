@@ -224,4 +224,36 @@ Histogram::count(std::size_t bin) const
     return counts_[bin];
 }
 
+double
+shannonEntropyBits(const std::vector<double> &counts)
+{
+    double total = 0.0;
+    for (double c : counts)
+        if (c > 0.0)
+            total += c;
+    if (total <= 0.0)
+        return 0.0;
+    double h = 0.0;
+    for (double c : counts) {
+        if (c <= 0.0)
+            continue;
+        const double p = c / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+normalizedShannonEntropy(const std::vector<double> &counts)
+{
+    double total = 0.0;
+    for (double c : counts)
+        if (c > 0.0)
+            total += c;
+    if (total <= 0.0 || counts.size() < 2)
+        return 1.0;
+    return shannonEntropyBits(counts) /
+        std::log2(static_cast<double>(counts.size()));
+}
+
 } // namespace pktchase

@@ -115,6 +115,22 @@ struct Summary
 Summary summarize(const std::vector<double> &samples);
 
 /**
+ * Shannon entropy, in bits, of the distribution described by a
+ * histogram of nonnegative counts. Zero counts contribute nothing;
+ * zero total mass yields 0. The single numeric kernel behind the
+ * telemetry probes' recycle-entropy counters and the entropy-drop
+ * detector, so the two sides can never drift apart numerically.
+ */
+double shannonEntropyBits(const std::vector<double> &counts);
+
+/**
+ * shannonEntropyBits normalized by the histogram's maximum
+ * (log2(bins)), in [0, 1]; degenerate histograms (fewer than two
+ * bins, or no mass) yield 1 -- "as spread out as possible".
+ */
+double normalizedShannonEntropy(const std::vector<double> &counts);
+
+/**
  * Percentile of a sample using linear interpolation between order
  * statistics. @p p is in [0, 100].
  */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "defense/gated_policy.hh"
 #include "defense/registry.hh"
 #include "sim/logging.hh"
 
@@ -55,15 +56,45 @@ Testbed::Testbed(const TestbedConfig &cfg)
     // One BufferPolicy instance per receive queue: defenses carry
     // queue-local state (quarantine pools, offset streams).
     std::vector<std::unique_ptr<nic::BufferPolicy>> policies;
+    std::vector<defense::GatedPolicy *> gated;
     policies.reserve(cfg_.igb.queues);
-    for (std::size_t q = 0; q < cfg_.igb.queues; ++q)
+    for (std::size_t q = 0; q < cfg_.igb.queues; ++q) {
         policies.push_back(defense::makeRingPolicy(cfg_.ringDefense));
+        if (auto *gp =
+                dynamic_cast<defense::GatedPolicy *>(policies.back().get()))
+            gated.push_back(gp);
+    }
     driver_ = std::make_unique<nic::IgbDriver>(
         cfg_.igb, *phys_, *hier_, std::move(policies));
     spySpace_ = std::make_unique<mem::AddressSpace>(
         *phys_, mem::Owner::Attacker);
     builder_ = std::make_unique<attack::EvictionSetBuilder>(
         *hier_, *spySpace_, cfg_.builder);
+
+    // A gated ring defense needs the telemetry + detector stack it
+    // arms from: build the rig and bind every queue's policy to its
+    // gate. Non-gated configurations attach nothing -- the telemetry
+    // path stays entirely off.
+    if (!gated.empty()) {
+        detect::RigConfig rig_cfg = cfg_.detection;
+        rig_cfg.gateDetector =
+            defense::gatedDetectorOf(cfg_.ringDefense);
+        rig_ = std::make_unique<detect::DetectionRig>(*hier_, *driver_,
+                                                      rig_cfg);
+        for (defense::GatedPolicy *gp : gated)
+            gp->bindGate(rig_->gate());
+    }
+}
+
+detect::DetectionRig &
+Testbed::attachDetection(const detect::RigConfig &cfg)
+{
+    if (rig_) {
+        fatal("Testbed::attachDetection: a detection rig is already "
+              "attached (gated ring defenses attach one at assembly)");
+    }
+    rig_ = std::make_unique<detect::DetectionRig>(*hier_, *driver_, cfg);
+    return *rig_;
 }
 
 const attack::ComboGroups &

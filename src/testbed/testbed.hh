@@ -20,6 +20,7 @@
 
 #include "attack/eviction_set.hh"
 #include "cache/hierarchy.hh"
+#include "detect/rig.hh"
 #include "mem/address_space.hh"
 #include "mem/phys_mem.hh"
 #include "nic/igb_driver.hh"
@@ -55,6 +56,16 @@ struct TestbedConfig
      */
     std::string nicSpec = "";
 
+    /**
+     * Telemetry/detection tuning (epoch width, detector windows and
+     * thresholds, gate hysteresis). Consulted when ringDefense is a
+     * "ring.gated:..." spec -- assembly then builds a DetectionRig
+     * whose gate arms every queue's GatedPolicy -- and by explicit
+     * Testbed::attachDetection() calls. Otherwise no rig exists and
+     * the telemetry path stays entirely off (zero cost).
+     */
+    detect::RigConfig detection;
+
     Addr physBytes = Addr(256) << 20; ///< 256 MB of frames.
     std::uint64_t seed = 1;
 
@@ -80,6 +91,21 @@ class Testbed
     attack::EvictionSetBuilder &builder() { return *builder_; }
     EventQueue &eq() { return eq_; }
     const TestbedConfig &config() const { return cfg_; }
+
+    /**
+     * The detection rig, or nullptr when none is attached. Assembly
+     * attaches one automatically for gated ring defenses; score-only
+     * experiments attach theirs with attachDetection().
+     */
+    detect::DetectionRig *detection() { return rig_.get(); }
+
+    /**
+     * Attach a detection rig over this testbed's LLC and driver,
+     * hosting the detectors (and optional gate) @p cfg names. Fatal
+     * when a rig is already attached (assembly attaches one for gated
+     * ring defenses -- reuse it via detection()).
+     */
+    detect::DetectionRig &attachDetection(const detect::RigConfig &cfg);
 
     /**
      * The spy's pool partitioned by page-aligned combo (oracle path;
@@ -140,6 +166,10 @@ class Testbed
     std::unique_ptr<attack::EvictionSetBuilder> builder_;
     EventQueue eq_;
     std::unique_ptr<attack::ComboGroups> groups_;
+
+    /** Declared after hier_/driver_ so its destructor detaches the
+     *  probes before the emitters die. */
+    std::unique_ptr<detect::DetectionRig> rig_;
 };
 
 } // namespace pktchase::testbed

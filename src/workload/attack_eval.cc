@@ -43,6 +43,12 @@ attackQueueCounts()
     return {nic::kDefaultQueues, 4};
 }
 
+fingerprint::WebsiteDb
+fig20Database()
+{
+    return fig20Db();
+}
+
 std::vector<defense::Cell>
 fig20Cells()
 {

@@ -49,6 +49,9 @@ std::vector<defense::Cell> fig20Cells();
 /** Fingerprint parameters every fig20 cell runs (golden-pinned). */
 fingerprint::FingerprintConfig fig20Config(std::uint64_t seed);
 
+/** The paper's five-site closed world (signature seed included). */
+fingerprint::WebsiteDb fig20Database();
+
 /**
  * Run one fig20 cell: assemble the cell's testbed, train on tcpdump
  * truth, classify live captures. @p seed is the visit/jitter stream

@@ -107,8 +107,8 @@ TEST(Registry, BuiltInNamesListed)
     const auto ring = Registry::instance().names("ring");
     const auto cache = Registry::instance().names("cache");
     EXPECT_EQ(ring, (std::vector<std::string>{
-        "ring.full", "ring.none", "ring.offset", "ring.partial",
-        "ring.quarantine"}));
+        "ring.full", "ring.gated", "ring.none", "ring.offset",
+        "ring.partial", "ring.quarantine"}));
     EXPECT_EQ(cache, (std::vector<std::string>{
         "cache.adaptive", "cache.ddio", "cache.ddio-ways",
         "cache.no-ddio"}));

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Golden pin for the detection pipeline (ctest label `golden`): the
+ * figD1 cadence attack cell's score stream and alarm timestamps,
+ * captured from the implementation this PR introduced. The pinned
+ * facts cover the whole stack end to end -- LLC/NIC telemetry hooks,
+ * epoch rolling and zero-fill, bus fan-out, and the cadence
+ * detector's autocorrelation -- so any change that perturbs a single
+ * counter delta, epoch boundary, or floating-point operation in the
+ * scoring path fails loudly here.
+ *
+ * Scores are compared as C99 hexfloats ("%a"): the scoring path is
+ * pure IEEE arithmetic (add/mul/div/sqrt), so the values are exact
+ * across conforming platforms, like the other golden tests' pins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/detect_eval.hh"
+
+using namespace pktchase;
+using namespace pktchase::workload;
+
+namespace
+{
+
+constexpr std::uint64_t kGoldenSeed = 0xD5EED;
+
+std::string
+hexOf(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+struct GoldenScore
+{
+    std::uint64_t epoch;
+    Cycles when;
+    const char *hex;
+};
+
+/** Sixteen consecutive scores starting at the first alarm, captured
+ *  at the figD1 cell (cadence, 8 kHz probe rate, 1 queue). */
+constexpr GoldenScore kScores[] = {
+    {3342ull, 66860000ull, "0x1.04b97ecf53f72p-1"},
+    {3343ull, 66880000ull, "0x1.04b97ecf53f72p-1"},
+    {3344ull, 66900000ull, "0x1.04b97ecf53f71p-1"},
+    {3345ull, 66920000ull, "0x1.04b97ecf53f7p-1"},
+    {3346ull, 66940000ull, "0x1.04b97ecf53f6fp-1"},
+    {3347ull, 66960000ull, "0x1.04b97ecf53f6fp-1"},
+    {3348ull, 66980000ull, "0x1.04b97ecf53f6ep-1"},
+    {3349ull, 67000000ull, "0x1.04b97ecf53f6ep-1"},
+    {3350ull, 67020000ull, "0x1.04b97ecf53f6ep-1"},
+    {3351ull, 67040000ull, "0x1.04b97ecf53f6dp-1"},
+    {3352ull, 67060000ull, "0x1.04b97ecf53f6dp-1"},
+    {3353ull, 67080000ull, "0x1.04b97ecf53f6cp-1"},
+    {3354ull, 67100000ull, "0x1.04b97ecf53f6bp-1"},
+    {3355ull, 67120000ull, "0x1.04b97ecf53f6ap-1"},
+    {3356ull, 67140000ull, "0x1.04b97ecf53f6ap-1"},
+    {3357ull, 67160000ull, "0x1.04b97ecf53f69p-1"},
+};
+
+/** The first six alarm timestamps (epoch-end cycles). */
+constexpr Cycles kAlarmTimes[] = {
+    66860000ull, 66880000ull, 66900000ull,
+    66920000ull, 66940000ull, 66960000ull,
+};
+
+} // namespace
+
+TEST(DetectGolden, CadenceScoreStreamAndAlarmsPinned)
+{
+    const DetectionTrace t =
+        runDetectionAttack("cadence", 8000.0, 1, kGoldenSeed);
+
+    ASSERT_EQ(t.scores.size(), 6601u);
+    EXPECT_EQ(t.samples, 17153u);
+
+    std::size_t alarms = 0, first_alarm = 0;
+    for (std::size_t i = 0; i < t.scores.size(); ++i) {
+        if (t.scores[i].alarm) {
+            if (alarms == 0)
+                first_alarm = i;
+            ++alarms;
+        }
+    }
+    EXPECT_EQ(alarms, 3255u);
+    ASSERT_EQ(first_alarm, 3342u);
+
+    for (std::size_t i = 0; i < std::size(kScores); ++i) {
+        const detect::Score &s = t.scores[first_alarm + i];
+        EXPECT_EQ(s.epoch, kScores[i].epoch) << "score " << i;
+        EXPECT_EQ(s.when, kScores[i].when) << "score " << i;
+        EXPECT_EQ(hexOf(s.score), kScores[i].hex) << "score " << i;
+        EXPECT_TRUE(s.alarm) << "score " << i;
+    }
+
+    // The alarm-time stream begins exactly at the pinned cycles: the
+    // gate would arm ~0.25 ms of simulated time after attack onset.
+    std::size_t seen = 0;
+    for (const detect::Score &s : t.scores) {
+        if (!s.alarm)
+            continue;
+        ASSERT_LT(seen, std::size(kAlarmTimes));
+        EXPECT_EQ(s.when, kAlarmTimes[seen]);
+        if (++seen == std::size(kAlarmTimes))
+            break;
+    }
+    EXPECT_EQ(seen, std::size(kAlarmTimes));
+}
+
+TEST(DetectGolden, TraceIsRunToRunDeterministic)
+{
+    const DetectionTrace a =
+        runDetectionAttack("miss-spike", 8000.0, 4, kGoldenSeed);
+    const DetectionTrace b =
+        runDetectionAttack("miss-spike", 8000.0, 4, kGoldenSeed);
+    ASSERT_EQ(a.scores.size(), b.scores.size());
+    EXPECT_EQ(a.samples, b.samples);
+    for (std::size_t i = 0; i < a.scores.size(); ++i) {
+        EXPECT_EQ(a.scores[i].when, b.scores[i].when);
+        EXPECT_EQ(a.scores[i].score, b.scores[i].score);
+        EXPECT_EQ(a.scores[i].alarm, b.scores[i].alarm);
+    }
+}

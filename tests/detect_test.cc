@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Unit tests for the detection subsystem: the counter bus and epoch
+ * rolling, the three detectors' score/alarm semantics on synthetic
+ * counter streams, gate hysteresis, the gated-policy spec grammar,
+ * and the end-to-end wiring (a gated testbed arms and pays only while
+ * armed; telemetry attach/detach is zero-cost when absent).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "defense/gated_policy.hh"
+#include "defense/registry.hh"
+#include "detect/counters.hh"
+#include "detect/detector.hh"
+#include "detect/gate.hh"
+#include "detect/rig.hh"
+#include "net/traffic.hh"
+#include "testbed/testbed.hh"
+
+using namespace pktchase;
+using namespace pktchase::detect;
+
+namespace
+{
+
+/** Synthetic "llc" sample at @p epoch with the given counters. */
+sim::CounterSample
+llcSample(std::uint64_t epoch, double misses, double conflicts,
+          Cycles width = sim::kDefaultEpochCycles)
+{
+    sim::CounterSample s;
+    s.source = "llc";
+    s.epoch = epoch;
+    s.start = epoch * width;
+    s.end = s.start + width;
+    s.set("cpu_accesses", misses * 2);
+    s.set("cpu_misses", misses);
+    s.set("miss_rate", 0.5);
+    s.set("ddio_fills", 0.0);
+    s.set("io_conflicts", conflicts);
+    return s;
+}
+
+/** Synthetic "rxagg" sample with the given per-queue counts. */
+sim::CounterSample
+aggSample(std::uint64_t epoch, const std::vector<double> &counts)
+{
+    sim::CounterSample s;
+    s.source = "rxagg";
+    s.epoch = epoch;
+    s.end = (epoch + 1) * sim::kDefaultEpochCycles;
+    double total = 0.0;
+    for (double c : counts)
+        total += c;
+    s.set("total", total);
+    for (std::size_t q = 0; q < counts.size(); ++q)
+        s.set("q" + std::to_string(q), counts[q]);
+    return s;
+}
+
+} // namespace
+
+// -------------------------------------------------------- counter bus --
+
+TEST(CounterBus, FansOutInSubscriptionOrder)
+{
+    sim::CounterBus bus(1000);
+    EXPECT_FALSE(bus.hasSubscribers());
+    std::vector<int> order;
+    bus.subscribe([&order](const sim::CounterSample &) {
+        order.push_back(1);
+    });
+    bus.subscribe([&order](const sim::CounterSample &) {
+        order.push_back(2);
+    });
+    EXPECT_TRUE(bus.hasSubscribers());
+    bus.publish(llcSample(0, 1, 0));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(bus.published(), 1u);
+}
+
+TEST(LlcCounterProbe, RollsEpochsAndZeroFillsGaps)
+{
+    sim::CounterBus bus(1000);
+    std::vector<sim::CounterSample> samples;
+    bus.subscribe([&samples](const sim::CounterSample &s) {
+        samples.push_back(s);
+    });
+    LlcCounterProbe probe(bus, 2);
+
+    probe.cpuAccess(0, false, 100);   // epoch 0
+    probe.cpuAccess(1, true, 500);    // epoch 0
+    probe.ioInjection(0, true, 3500); // epoch 3: publishes 0,1,2
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].epoch, 0u);
+    EXPECT_EQ(samples[0].value("cpu_accesses"), 2.0);
+    EXPECT_EQ(samples[0].value("cpu_misses"), 1.0);
+    EXPECT_EQ(samples[0].value("g0.misses"), 1.0);
+    EXPECT_EQ(samples[1].value("cpu_accesses"), 0.0); // zero-filled
+    EXPECT_EQ(samples[2].value("cpu_accesses"), 0.0);
+
+    probe.flush(3500);
+    ASSERT_EQ(samples.size(), 4u);
+    EXPECT_EQ(samples[3].epoch, 3u);
+    EXPECT_EQ(samples[3].value("ddio_fills"), 1.0);
+    EXPECT_EQ(samples[3].value("ddio_cpu_displaced"), 1.0);
+}
+
+TEST(LlcCounterProbe, LongIdleGapCatchUpIsBounded)
+{
+    sim::CounterBus bus(1000);
+    std::uint64_t published = 0;
+    bus.subscribe([&published](const sim::CounterSample &) {
+        ++published;
+    });
+    LlcCounterProbe probe(bus, 1);
+    probe.cpuAccess(0, false, 100);
+    // A gap of a million epochs publishes at most the catch-up bound
+    // plus the pending epoch, not a million zero samples.
+    probe.cpuAccess(0, false, Cycles(1000) * 1000 * 1000);
+    EXPECT_LE(published, LlcCounterProbe::kMaxCatchUp + 1);
+}
+
+TEST(RxCounterProbe, ReuseDistanceAndAggregate)
+{
+    sim::CounterBus bus(1000);
+    std::vector<sim::CounterSample> samples;
+    bus.subscribe([&samples](const sim::CounterSample &s) {
+        samples.push_back(s);
+    });
+    RxCounterProbe probe(bus, 2);
+
+    // Queue 0 cycles two pages; queue 1 sees one recycle.
+    probe.onRecycle(0, 0, 0x1000, 10);
+    probe.onRecycle(0, 1, 0x2000, 20);
+    probe.onRecycle(0, 0, 0x1000, 30); // reuse distance 2
+    probe.onRecycle(1, 0, 0x9000, 40);
+    probe.flush(2000);
+
+    const sim::CounterSample *q0 = nullptr, *agg = nullptr;
+    for (const auto &s : samples) {
+        if (s.source == "rxq0")
+            q0 = &s;
+        if (s.source == "rxagg")
+            agg = &s;
+    }
+    ASSERT_NE(q0, nullptr);
+    EXPECT_EQ(q0->value("recycles"), 3.0);
+    EXPECT_EQ(q0->value("pages"), 2.0);
+    EXPECT_EQ(q0->value("reuse_mean"), 2.0);
+    ASSERT_NE(agg, nullptr);
+    EXPECT_EQ(agg->value("total"), 4.0);
+    EXPECT_EQ(agg->value("q0"), 3.0);
+    EXPECT_EQ(agg->value("q1"), 1.0);
+    // 3:1 split over two queues: H = 0.811 bits / 1 bit.
+    EXPECT_NEAR(agg->value("entropy"), 0.8112781, 1e-6);
+}
+
+// ---------------------------------------------------------- detectors --
+
+TEST(MissRateSpikeDetector, CalibratesThenScoresSpikes)
+{
+    DetectorConfig cfg;
+    cfg.window = 16;
+    cfg.shortWindow = 2;
+    MissRateSpike det(cfg);
+
+    // Calibration span: steady 10 misses/epoch, all scores zero.
+    std::uint64_t e = 0;
+    for (; e < 16; ++e) {
+        const Score *sc = det.onSample(llcSample(e, 10, 0));
+        ASSERT_NE(sc, nullptr);
+        EXPECT_EQ(sc->score, 0.0);
+    }
+    // Benign continuation stays quiet...
+    const Score *quiet = det.onSample(llcSample(e++, 10, 0));
+    EXPECT_LT(std::abs(quiet->score), 1.0);
+    EXPECT_FALSE(quiet->alarm);
+    // ...a probing burst alarms.
+    det.onSample(llcSample(e++, 500, 0));
+    const Score *spike = det.onSample(llcSample(e++, 500, 0));
+    EXPECT_GT(spike->score, det.threshold());
+    EXPECT_TRUE(spike->alarm);
+    EXPECT_GE(det.alarmCount(), 1u);
+
+    // Non-llc samples are not consumed.
+    EXPECT_EQ(det.onSample(aggSample(e, {1, 1})), nullptr);
+}
+
+TEST(ProbeCadenceDetector, PeriodicConflictsAlarmAperiodicDoNot)
+{
+    DetectorConfig cfg;
+    cfg.window = 64;
+    cfg.minLag = 3;
+    ProbeCadence det(cfg);
+
+    // Period-8 conflict bursts: the probe loop's signature.
+    const Score *last = nullptr;
+    for (std::uint64_t e = 0; e < 128; ++e)
+        last = det.onSample(llcSample(e, 5, e % 8 == 0 ? 12 : 0));
+    ASSERT_NE(last, nullptr);
+    EXPECT_GT(last->score, det.threshold());
+    EXPECT_TRUE(last->alarm);
+    EXPECT_EQ(det.bestLag(), 8u);
+
+    // A pseudo-random aperiodic stream scores low.
+    ProbeCadence benign(cfg);
+    std::uint64_t x = 0x123456789abcdefull;
+    const Score *b = nullptr;
+    for (std::uint64_t e = 0; e < 128; ++e) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        b = benign.onSample(llcSample(e, 5, double(x % 4)));
+    }
+    EXPECT_FALSE(b->alarm);
+
+    // A silent counter can never alarm, autocorrelated or not.
+    ProbeCadence silent(cfg);
+    const Score *s = nullptr;
+    for (std::uint64_t e = 0; e < 128; ++e)
+        s = silent.onSample(llcSample(e, 5, e % 8 == 0 ? 0.05 : 0));
+    EXPECT_FALSE(s->alarm);
+}
+
+TEST(ReuseEntropyDropDetector, FloodConcentrationAlarms)
+{
+    DetectorConfig cfg;
+    cfg.window = 32;
+    cfg.entropyShort = 8;
+    ReuseEntropyDrop det(cfg);
+
+    // Calibration: balanced recycles across 4 queues.
+    std::uint64_t e = 0;
+    for (; e < 32; ++e)
+        det.onSample(aggSample(e, {5, 4, 6, 5}));
+    // Balanced continuation: no alarm.
+    const Score *sc = nullptr;
+    for (unsigned i = 0; i < 8; ++i)
+        sc = det.onSample(aggSample(e++, {4, 6, 5, 5}));
+    EXPECT_FALSE(sc->alarm);
+    EXPECT_LT(sc->score, 0.05);
+    // Flood: one queue dominates, entropy collapses, alarm.
+    for (unsigned i = 0; i < 8; ++i)
+        sc = det.onSample(aggSample(e++, {80, 4, 6, 5}));
+    EXPECT_TRUE(sc->alarm);
+    EXPECT_GT(sc->score, det.threshold());
+}
+
+TEST(Detectors, FactoryAndNames)
+{
+    for (const std::string &name : detectorNames()) {
+        EXPECT_TRUE(isDetectorName(name));
+        EXPECT_EQ(makeDetector(name)->name(), name);
+    }
+    EXPECT_FALSE(isDetectorName("nope"));
+    EXPECT_EXIT(makeDetector("nope"), ::testing::ExitedWithCode(1),
+                "unknown detector");
+}
+
+TEST(Auc, SeparationExtremes)
+{
+    EXPECT_DOUBLE_EQ(aucScore({2, 3, 4}, {0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(aucScore({0, 1}, {2, 3, 4}), 0.0);
+    EXPECT_DOUBLE_EQ(aucScore({1, 1}, {1, 1}), 0.5);
+    EXPECT_DOUBLE_EQ(aucScore({}, {1}), 0.5);
+}
+
+// --------------------------------------------------------------- gate --
+
+TEST(Gate, ArmsImmediatelyDisarmsWithHysteresis)
+{
+    DetectorConfig dcfg;
+    dcfg.window = 8;
+    dcfg.shortWindow = 1;
+    GateConfig gcfg;
+    gcfg.disarmEpochs = 4;
+    GateController gate(std::make_unique<MissRateSpike>(dcfg), gcfg);
+    sim::CounterBus bus(1000);
+    gate.connect(bus);
+
+    std::uint64_t e = 0;
+    for (; e < 8; ++e)
+        bus.publish(llcSample(e, 10, 0));
+    EXPECT_FALSE(gate.armed());
+
+    bus.publish(llcSample(e++, 900, 0));
+    EXPECT_TRUE(gate.armed());
+    EXPECT_EQ(gate.armTransitions(), 1u);
+
+    // Three quiet epochs: still armed (hysteresis)...
+    for (unsigned i = 0; i < 3; ++i)
+        bus.publish(llcSample(e++, 10, 0));
+    EXPECT_TRUE(gate.armed());
+    // ...the fourth disarms.
+    bus.publish(llcSample(e++, 10, 0));
+    EXPECT_FALSE(gate.armed());
+    EXPECT_GT(gate.armedEpochs(), 0u);
+}
+
+// ---------------------------------------------------- gated ring spec --
+
+TEST(GatedSpec, GrammarRoundTripsThroughRegistry)
+{
+    EXPECT_TRUE(defense::isSpecSyntax(
+        "ring.gated:cadence:partial.1000"));
+    EXPECT_TRUE(defense::Registry::instance().contains(
+        "ring.gated:cadence:partial.1000"));
+    EXPECT_TRUE(defense::Registry::instance().contains(
+        "ring.gated:miss-spike:full"));
+    // Unknown detector or inner policy: well-formed but unknown.
+    EXPECT_FALSE(defense::Registry::instance().contains(
+        "ring.gated:nope:full"));
+    EXPECT_FALSE(defense::Registry::instance().contains(
+        "ring.gated:cadence:nope"));
+    // A gate param without an inner policy, or a smuggled extra ':',
+    // is malformed; a bare "ring.gated" parses like any paramless
+    // spec but names nothing instantiable.
+    EXPECT_FALSE(defense::isSpecSyntax("ring.gated:cadence"));
+    EXPECT_FALSE(defense::isSpecSyntax("ring.gated:a:b:c"));
+    EXPECT_TRUE(defense::isSpecSyntax("ring.gated"));
+    EXPECT_FALSE(defense::Registry::instance().contains("ring.gated"));
+    EXPECT_EXIT(defense::makeRingPolicy("ring.gated"),
+                ::testing::ExitedWithCode(1), "ring.gated needs");
+
+    auto policy = defense::makeRingPolicy(
+        "ring.gated:cadence:partial.1000");
+    EXPECT_EQ(policy->name(), "ring.gated:cadence:partial.1000");
+    auto *gp = dynamic_cast<defense::GatedPolicy *>(policy.get());
+    ASSERT_NE(gp, nullptr);
+    EXPECT_EQ(gp->detectorName(), "cadence");
+    EXPECT_EQ(gp->inner().name(), "ring.partial:1000");
+    EXPECT_FALSE(gp->armed()); // unbound: permanently disarmed
+
+    // Inner defaults become explicit in the canonical name.
+    EXPECT_EQ(defense::canonicalSpec("ring.gated:cadence:partial"),
+              "ring.gated:cadence:partial.1000");
+    EXPECT_EQ(defense::canonicalSpec("ring.gated:entropy-drop:none"),
+              "ring.gated:entropy-drop:none");
+
+    // Cell names round-trip with a gated ring part.
+    defense::Cell cell{"ring.gated:cadence:partial.1000",
+                       "cache.ddio"};
+    const defense::Cell back = defense::parseCell(cell.name());
+    EXPECT_EQ(back.name(), cell.name());
+}
+
+TEST(GatedSpecDeath, UnknownPiecesFailLoudly)
+{
+    EXPECT_EXIT(defense::makeRingPolicy("ring.gated:nope:full"),
+                ::testing::ExitedWithCode(1), "unknown");
+    EXPECT_EXIT(defense::makeRingPolicy("ring.gated:cadence:nope"),
+                ::testing::ExitedWithCode(1), "unknown ring policy");
+}
+
+// -------------------------------------------------------- end to end --
+
+TEST(GatedTestbed, PaysOnlyWhileArmed)
+{
+    testbed::TestbedConfig cfg = testbed::TestbedConfig::reduced();
+    // Gate full randomization so any armed packet reallocates.
+    cfg.ringDefense = "ring.gated:cadence:full";
+    testbed::Testbed tb(cfg);
+    ASSERT_NE(tb.detection(), nullptr);
+    ASSERT_NE(tb.detection()->gate(), nullptr);
+
+    nic::Frame frame;
+    frame.bytes = 512;
+    frame.protocol = nic::Protocol::Udp;
+
+    Cycles t = 0;
+    for (unsigned i = 0; i < 50; ++i)
+        tb.driver().receive(frame, t += 2000);
+    EXPECT_EQ(tb.driver().stats().buffersReallocated, 0u);
+
+    // Operator override stands in for a detector alarm here; the
+    // detector-driven path is covered by the figD2 grid and the
+    // golden test.
+    tb.detection()->gate()->forceArmed(true);
+    for (unsigned i = 0; i < 50; ++i)
+        tb.driver().receive(frame, t += 2000);
+    EXPECT_EQ(tb.driver().stats().buffersReallocated, 50u);
+
+    tb.detection()->gate()->forceArmed(false);
+    for (unsigned i = 0; i < 50; ++i)
+        tb.driver().receive(frame, t += 2000);
+    EXPECT_EQ(tb.driver().stats().buffersReallocated, 50u);
+}
+
+TEST(GatedTestbed, QuarantineInnerKeepsLifecycleInvariants)
+{
+    // onInit/onTeardown always forward: the quarantine pool is
+    // allocated and freed even if the gate never arms.
+    testbed::TestbedConfig cfg = testbed::TestbedConfig::reduced();
+    cfg.ringDefense = "ring.gated:miss-spike:quarantine.8";
+    testbed::Testbed tb(cfg);
+    nic::Frame frame;
+    frame.bytes = 512;
+    frame.protocol = nic::Protocol::Udp;
+    Cycles t = 0;
+    for (unsigned i = 0; i < 40; ++i)
+        tb.driver().receive(frame, t += 2000);
+    EXPECT_EQ(tb.driver().stats().pageSwaps, 0u); // never armed
+    // Destruction must free the pool without tripping PhysMem.
+}
+
+TEST(Telemetry, DetachedEmittersDoNoTelemetryWork)
+{
+    // No rig: no probe attached anywhere.
+    testbed::Testbed tb(testbed::TestbedConfig::reduced());
+    EXPECT_EQ(tb.detection(), nullptr);
+    EXPECT_EQ(tb.hier().llc().telemetry(), nullptr);
+    EXPECT_EQ(tb.driver().telemetry(), nullptr);
+}
+
+TEST(Telemetry, RigDetachesOnDestruction)
+{
+    testbed::TestbedConfig cfg = testbed::TestbedConfig::reduced();
+    testbed::Testbed tb(cfg);
+    {
+        // Attach and drop a scoped rig manually.
+        detect::RigConfig rc;
+        rc.detectors = {"miss-spike"};
+        detect::DetectionRig rig(tb.hier(), tb.driver(), rc);
+        EXPECT_NE(tb.hier().llc().telemetry(), nullptr);
+        EXPECT_NE(tb.driver().telemetry(), nullptr);
+    }
+    EXPECT_EQ(tb.hier().llc().telemetry(), nullptr);
+    EXPECT_EQ(tb.driver().telemetry(), nullptr);
+}
