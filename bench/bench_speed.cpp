@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Simulator speed baseline: wall-clock throughput of the hot paths
+ * (event pops, frame deliveries, probe rounds) across a representative
+ * slice of the evaluation grid -- every ring-defense tier with and
+ * without an attacker, on the single-queue and 4-queue NIC.
+ *
+ * Unlike the figure benches this measures the *simulator*, not the
+ * simulated machine: each cell runs the same reduced testbed for the
+ * same simulated horizon, and the row reports how many simulated
+ * events/frames/probe rounds per host second that run sustained. The
+ * obs::Stat counters provide the numerators (they advance only with
+ * simulated work, so the rates are comparable across commits), a
+ * steady_clock around each cell the denominator.
+ *
+ * Cells run strictly serially on one thread: wall-clock per cell is
+ * the quantity under measurement, so cells must not contend for
+ * cores the way a normal campaign's workers do.
+ *
+ * Emits BENCH_speed.json (via sim::BenchReport) -- the tracked speed
+ * trajectory that ROADMAP item 2's optimization work is measured
+ * against.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/footprint.hh"
+#include "bench_util.hh"
+#include "defense/registry.hh"
+#include "net/traffic.hh"
+#include "obs/stats.hh"
+#include "sim/bench_report.hh"
+#include "testbed/testbed.hh"
+
+using namespace pktchase;
+
+namespace
+{
+
+/** Simulated horizon of every cell: long enough that per-cell rates
+ *  are stable (hundreds of thousands of events), short enough that
+ *  the full 12-cell sweep stays in CI budget. */
+constexpr Cycles kHorizon = secondsToCycles(0.04);
+
+/** Workload seed shared by every cell (identical offered load). */
+constexpr std::uint64_t kSeed = 0x5eedul;
+
+/** The benign flow mix every cell carries: steady connections plus a
+ *  many-flow Poisson background, unbounded so it outlives the
+ *  horizon (same shape as the figD1 detection workload). */
+std::unique_ptr<net::FlowMix>
+benignMix()
+{
+    auto mix = std::make_unique<net::FlowMix>();
+    for (std::uint32_t f = 0; f < 6; ++f) {
+        mix->add(std::make_unique<net::ConstantStream>(
+            768, 20000.0, 0, nic::Protocol::Udp, 101 + 17 * f));
+    }
+    mix->add(std::make_unique<net::PoissonBackground>(
+        60000.0, Rng(kSeed), 0, 64));
+    return mix;
+}
+
+/** One speed cell: defense tier x queue count x attacker presence. */
+struct SpeedCell
+{
+    std::string ring;
+    std::size_t queues;
+    bool attacker;
+
+    std::string
+    name() const
+    {
+        return "speed/" + ring + "+" + defense::nicSpecOf(queues) +
+               (attacker ? "/attack" : "/benign");
+    }
+};
+
+std::vector<SpeedCell>
+speedCells()
+{
+    std::vector<SpeedCell> cells;
+    for (const char *ring :
+         {"ring.none", "ring.partial:1000",
+          "ring.gated:cadence:partial.1000"}) {
+        for (std::size_t q : {std::size_t(1), std::size_t(4)}) {
+            for (bool attacker : {false, true})
+                cells.push_back({ring, q, attacker});
+        }
+    }
+    return cells;
+}
+
+/** Run one cell and return its rate metrics. */
+sim::BenchReport::Metrics
+runCell(const SpeedCell &cell)
+{
+    testbed::TestbedConfig cfg = testbed::TestbedConfig::reduced();
+    cfg.ringDefense = cell.ring;
+    cfg.nicSpec = defense::nicSpecOf(cell.queues);
+    testbed::Testbed tb(cfg);
+
+    net::TrafficPump pump(tb.eq(), tb.driver(), benignMix(), 1000);
+
+    const obs::StatSnapshot before = obs::snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (cell.attacker) {
+        // The footprint scan is the probe-heavy attacker phase; it
+        // drives the event queue itself, interleaving with the pump.
+        std::vector<std::size_t> all;
+        for (std::size_t c = 0; c < tb.groups().groups.size(); ++c)
+            all.push_back(c);
+        attack::FootprintConfig fcfg;
+        fcfg.probeRateHz = 8000.0;
+        fcfg.probe.ways = tb.config().llc.geom.ways;
+        attack::FootprintScanner scanner(tb.hier(), tb.groups(), all,
+                                         fcfg);
+        scanner.scan(tb.eq(), kHorizon);
+    } else {
+        tb.eq().runUntil(kHorizon);
+    }
+
+    const double wall_sec = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    const obs::StatSnapshot delta = obs::snapshot() - before;
+
+    const auto rate = [wall_sec](std::uint64_t n) {
+        return wall_sec > 0.0 ? static_cast<double>(n) / wall_sec : 0.0;
+    };
+    const std::uint64_t events = delta.get(obs::Stat::SimEvents);
+    const std::uint64_t frames = delta.get(obs::Stat::FramesDelivered);
+    const std::uint64_t rounds = delta.get(obs::Stat::ProbeRounds);
+
+    sim::BenchReport::Metrics m;
+    m.emplace_back("wall_ms", wall_sec * 1e3);
+    m.emplace_back("sim_events", static_cast<double>(events));
+    m.emplace_back("sim_events_per_sec", rate(events));
+    m.emplace_back("frames_delivered", static_cast<double>(frames));
+    m.emplace_back("frames_per_sec", rate(frames));
+    m.emplace_back("probe_rounds", static_cast<double>(rounds));
+    m.emplace_back("probe_rounds_per_sec", rate(rounds));
+    m.emplace_back("llc_accesses",
+                   static_cast<double>(delta.get(obs::Stat::LlcAccesses)));
+    return m;
+}
+
+double
+metricOf(const sim::BenchReport::Metrics &m, const std::string &key)
+{
+    for (const auto &kv : m)
+        if (kv.first == key)
+            return kv.second;
+    fatal("bench_speed: no metric '" + key + "'");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Speed",
+                  "Simulator hot-path throughput per host second "
+                  "(the tracked optimization baseline, not a paper "
+                  "figure)");
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    sim::BenchReport report("speed");
+    report.scalar("horizon_sim_sec", 0.04);
+
+    std::printf("  %-58s %8s %10s %9s %9s\n", "cell", "wall ms",
+                "Mevent/s", "kframe/s", "kround/s");
+    bench::rule(100);
+    for (const SpeedCell &cell : speedCells()) {
+        const sim::BenchReport::Metrics m = runCell(cell);
+        std::printf("  %-58s %8.1f %10.2f %9.1f %9.1f\n",
+                    cell.name().c_str(), metricOf(m, "wall_ms"),
+                    metricOf(m, "sim_events_per_sec") / 1e6,
+                    metricOf(m, "frames_per_sec") / 1e3,
+                    metricOf(m, "probe_rounds_per_sec") / 1e3);
+        report.cell(cell.name(), m);
+    }
+    bench::rule(100);
+
+    const double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    std::printf("  12 cells in %.2f s host time\n", elapsed);
+
+    report.scalar("elapsed_sec", elapsed);
+    if (!report.write())
+        return 1;
+    std::printf("  wrote BENCH_speed.json\n");
+    return 0;
+}

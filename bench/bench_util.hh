@@ -15,6 +15,7 @@
 #include "runtime/scenario.hh"
 #include "sim/bench_report.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace pktchase::bench
 {
@@ -80,6 +81,28 @@ printLatencyTable(const std::vector<runtime::ScenarioResult> &results,
                     100.0 * (r.value("p99") / base_p99 - 1.0));
     }
     rule(96);
+}
+
+/**
+ * The standard percentile row: one metric per sim::kPercentileKeys
+ * entry, computed over @p samples. An empty sample yields all-zero
+ * metrics rather than the panic sim::percentile() raises, so a cell
+ * whose workload produced no latencies (e.g. a zero-request smoke
+ * configuration) still emits a well-formed row.
+ */
+inline sim::BenchReport::Metrics
+percentileRow(const std::vector<double> &samples)
+{
+    static const double kLevels[] = {50, 90, 99, 99.9, 99.99};
+    sim::BenchReport::Metrics row;
+    for (std::size_t i = 0; i < sim::kPercentileKeys.size(); ++i) {
+        row.emplace_back(sim::kPercentileKeys[i],
+                         samples.empty()
+                             ? 0.0
+                             : pktchase::percentile(samples,
+                                                    kLevels[i]));
+    }
+    return row;
 }
 
 /** Append every campaign result as a cell of @p report. */

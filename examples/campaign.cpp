@@ -14,18 +14,23 @@
  *
  *     ./build/examples/campaign fig16x
  *     ./build/examples/campaign figD1 --threads=1 --seed=7
+ *     ./build/examples/campaign --list
+ *     ./build/examples/campaign fig7q --trace=trace.json
  *
  * --threads=0 (the default) resolves like the benches: the
  * PKTCHASE_THREADS environment variable, else max(4, hardware).
  * Reports are bit-identical across thread counts at a fixed seed --
- * CI diffs --threads=1 against the default to prove it.
+ * CI diffs --threads=1 against the default to prove it, and
+ * --trace never perturbs the report (spans observe wall-clock only).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 #include <string>
 
+#include "obs/trace.hh"
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
 #include "workload/attack_eval.hh"
@@ -52,11 +57,12 @@ parseUnsigned(const std::string &digits, std::uint64_t &out)
 /** Parse "--threads=N" / "--seed=S" into @p opt; false on junk. */
 bool
 parseFlag(const std::string &arg, runtime::SweepOptions &opt,
-          bool &seed_set)
+          bool &seed_set, bool &list, std::string &trace_path)
 {
     std::uint64_t value = 0;
     const std::string threads = "--threads=";
     const std::string seed = "--seed=";
+    const std::string trace = "--trace=";
     if (arg.rfind(threads, 0) == 0) {
         if (!parseUnsigned(arg.substr(threads.size()), value) ||
             value > std::numeric_limits<unsigned>::max())
@@ -71,14 +77,38 @@ parseFlag(const std::string &arg, runtime::SweepOptions &opt,
         seed_set = true;
         return true;
     }
+    if (arg.rfind(trace, 0) == 0) {
+        trace_path = arg.substr(trace.size());
+        return !trace_path.empty();
+    }
+    if (arg == "--list") {
+        list = true;
+        return true;
+    }
+    if (arg == "--quiet") {
+        opt.quiet = true;
+        return true;
+    }
     return false;
+}
+
+/** The registered grids with their one-line descriptions. */
+void
+printGrids(std::FILE *out)
+{
+    auto &reg = runtime::ScenarioRegistry::instance();
+    std::fprintf(out, "registered scenario grids:\n");
+    for (const std::string &name : reg.names())
+        std::fprintf(out, "  %-8s %s\n", name.c_str(),
+                     reg.description(name).c_str());
 }
 
 int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [<grid>] [--threads=N] [--seed=S]\n",
+                 "usage: %s [<grid>] [--threads=N] [--seed=S] "
+                 "[--trace=out.json] [--list] [--quiet]\n",
                  argv0);
     return 1;
 }
@@ -94,11 +124,13 @@ main(int argc, char **argv)
 
     runtime::SweepOptions opt;
     bool seed_set = false;
+    bool list = false;
     std::string grid_name;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
-            if (!parseFlag(arg, opt, seed_set))
+            if (!parseFlag(arg, opt, seed_set, list, trace_path))
                 return usage(argv[0]);
         } else if (grid_name.empty()) {
             grid_name = arg;
@@ -107,13 +139,23 @@ main(int argc, char **argv)
         }
     }
 
+    if (list) {
+        printGrids(stdout);
+        return 0;
+    }
+
+    // The session spans the whole run and writes its file when it goes
+    // out of scope at the end of main. Without --trace no session
+    // exists and every span compiles down to a TLS-null check.
+    std::optional<obs::TraceSession> trace;
+    if (!trace_path.empty())
+        trace.emplace(trace_path);
+
     if (!grid_name.empty()) {
         if (!runtime::ScenarioRegistry::instance().contains(grid_name)) {
-            std::fprintf(stderr, "unknown grid \"%s\"; registered:\n",
+            std::fprintf(stderr, "unknown grid \"%s\"\n",
                          grid_name.c_str());
-            for (const std::string &n :
-                 runtime::ScenarioRegistry::instance().names())
-                std::fprintf(stderr, "  %s\n", n.c_str());
+            printGrids(stderr);
             return 1;
         }
         const auto results = runtime::sweep(grid_name, opt);
@@ -121,11 +163,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    auto &reg = runtime::ScenarioRegistry::instance();
-    std::printf("registered scenario grids:\n");
-    for (const std::string &name : reg.names())
-        std::printf("  %-8s %s\n", name.c_str(),
-                    reg.description(name).c_str());
+    printGrids(stdout);
 
     // A reduced Fig. 14 sweep (fewer requests than the bench) so the
     // demo finishes quickly; each cell still assembles its own

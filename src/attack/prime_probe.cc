@@ -1,5 +1,7 @@
 #include "prime_probe.hh"
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::attack
@@ -49,6 +51,11 @@ PrimeProbeMonitor::probeOne(std::size_t index, Cycles now,
 ProbeSample
 PrimeProbeMonitor::probeAll(Cycles now)
 {
+    // One prime+probe round = one LLC walk over the monitor list; this
+    // is the attacker pipeline's innermost hot path, so it carries
+    // both the probe-round counter and the llc.walk trace span.
+    const obs::ScopedSpan span("llc.walk", "cache");
+    obs::bump(obs::Stat::ProbeRounds);
     ProbeSample s;
     s.start = now;
     s.active.resize(sets_.size(), 0);

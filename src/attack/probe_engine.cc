@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::attack
@@ -141,6 +142,7 @@ ProbeEngine::scheduleChase(EventQueue &eq, Stream &st, std::size_t id,
     // accumulated across the probes of one slot visit and classified
     // once the first monitored row has fired.
     st.step = [this, &eq, &st, id, horizon] {
+        const obs::ScopedSpan span("probe.chase-round", "attack");
         ProbeSample s = st.monitors[st.cursor].probeAll(eq.now());
         ++st.stats.probes;
         for (std::size_t i = 0; i < st.accum.size(); ++i)
@@ -190,6 +192,7 @@ ProbeEngine::scheduleSample(EventQueue &eq, Stream &st, std::size_t id,
 {
     const Cycles interval = secondsToCycles(1.0 / cfg_.sampleRateHz);
     st.step = [this, &eq, &st, id, horizon, interval] {
+        const obs::ScopedSpan span("probe.sample-round", "attack");
         Cycles t = eq.now();
         for (std::size_t b = 0; b < st.monitors.size(); ++b) {
             ProbeSample s = st.monitors[b].probeAll(t);

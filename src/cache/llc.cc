@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::cache
@@ -190,6 +191,7 @@ void
 Llc::ioFill(std::size_t gset, Addr block)
 {
     ++stats_.ioAllocations;
+    obs::bump(obs::Stat::LlcMisses);
     const unsigned cap = policy_->ioCap(gset);
     const WayMask io_mask = kindMask(gset, true);
     const auto io_count = static_cast<unsigned>(popcount64(io_mask));
@@ -229,6 +231,7 @@ Llc::ioFill(std::size_t gset, Addr block)
 void
 Llc::cpuMissFill(std::size_t gset, Addr block, bool dirty, Cycles now)
 {
+    obs::bump(obs::Stat::LlcMisses);
     const std::uint64_t conflicts0 = stats_.ioEvictedByCpu;
     cpuFill(gset, block, dirty);
     if (telem_) {
@@ -242,6 +245,7 @@ bool
 Llc::cpuRead(Addr paddr, Cycles now)
 {
     ++stats_.cpuReads;
+    obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
     policy_->onAccess(*this, gset, now);
@@ -262,6 +266,7 @@ bool
 Llc::cpuWrite(Addr paddr, Cycles now)
 {
     ++stats_.cpuWrites;
+    obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
     policy_->onAccess(*this, gset, now);
@@ -305,6 +310,7 @@ void
 Llc::ioWrite(Addr paddr, Cycles now)
 {
     ++stats_.ioWrites;
+    obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
     policy_->onAccess(*this, gset, now);

@@ -1,5 +1,7 @@
 #include "igb_driver.hh"
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::nic
@@ -156,7 +158,11 @@ IgbDriver::receive(const Frame &frame, Cycles now)
     if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
         fatal("IgbDriver::receive: frame size outside 802.3 limits");
 
+    const obs::ScopedSpan span("nic.deliver", "nic");
+    obs::bump(obs::Stat::FramesDelivered);
+
     RxQueue &q = *queues_[rss_.queueFor(frame.flow)];
+    obs::bump(obs::Stat::PolicyHooks);
     q.policy_->onPacket(q, q.stats_.framesReceived);
 
     const std::size_t index = q.ring_.head();
@@ -232,6 +238,7 @@ IgbDriver::processRx(RxQueue &q, std::size_t desc_index,
         }
     }
 
+    obs::bump(obs::Stat::PolicyHooks);
     q.policy_->onRecycle(q, desc_index);
 
     // Post-defense recycle telemetry: report the page that will back

@@ -5,6 +5,8 @@
 #include <memory>
 #include <thread>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "runtime/spsc_ring.hh"
 #include "sim/logging.hh"
 
@@ -45,7 +47,16 @@ Campaign::run(const std::vector<Scenario> &grid)
 
     auto runCell = [&](std::size_t index) {
         ScenarioContext ctx(index, cfg_.seed);
-        ScenarioResult r = grid[index].run(ctx);
+        // Cells run start-to-finish on one thread, so the thread-local
+        // counter delta around the run is exactly this cell's work --
+        // independent of which worker ran it or what ran before.
+        const obs::StatSnapshot before = obs::snapshot();
+        ScenarioResult r;
+        {
+            const obs::ScopedSpan span(grid[index].name, "cell");
+            r = grid[index].run(ctx);
+        }
+        r.counters = (obs::snapshot() - before).toCounters();
         r.index = index;
         if (r.name.empty())
             r.name = grid[index].name;
@@ -80,6 +91,7 @@ Campaign::run(const std::vector<Scenario> &grid)
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
+            obs::attachWorkerThread(w);
             // Static index sharding: worker w owns cells w, w+N, ...
             for (std::size_t i = w; i < grid.size(); i += threads) {
                 ScenarioResult r = runCell(i);
@@ -91,6 +103,7 @@ Campaign::run(const std::vector<Scenario> &grid)
                     std::this_thread::yield();
                 }
             }
+            obs::detachWorkerThread();
         });
     }
 

@@ -29,6 +29,15 @@ ScenarioResult::value(const std::string &key) const
     fatal("ScenarioResult '" + name + "' has no metric '" + key + "'");
 }
 
+std::uint64_t
+ScenarioResult::counter(const std::string &key) const
+{
+    for (const auto &kv : counters)
+        if (kv.first == key)
+            return kv.second;
+    fatal("ScenarioResult '" + name + "' has no counter '" + key + "'");
+}
+
 bool
 ScenarioResult::has(const std::string &key) const
 {

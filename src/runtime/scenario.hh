@@ -60,6 +60,20 @@ struct ScenarioResult
     std::string name;          ///< Cell name, e.g. "fig14/llc20/ddio".
     std::vector<std::pair<std::string, double>> metrics;
 
+    /**
+     * Simulator-side hot-path counters (obs::Stat) accumulated while
+     * this cell ran, filled in by Campaign as the snapshot delta around
+     * the cell's run function. Deliberately separate from @ref metrics
+     * so formatReport() -- and every golden trace diffed against it --
+     * is untouched by instrumentation. Counter values advance only with
+     * simulated work, so they obey the same threads=N == threads=1
+     * merge contract as the metrics.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /** Look up a hot-path counter by name; fatal() when absent. */
+    std::uint64_t counter(const std::string &key) const;
+
     /** Append one named metric. */
     void
     set(const std::string &key, double value)

@@ -1,11 +1,66 @@
 #include "sweep.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+
+#include <unistd.h>
 
 #include "runtime/registry.hh"
 
 namespace pktchase::runtime
 {
+
+namespace
+{
+
+/**
+ * Throttled "cells done/total" line on stderr. Progress is cosmetic:
+ * it is driven from Campaign's onResult hook (driver thread only, so
+ * no locking) and never touches the results, keeping the merged
+ * output bit-identical with progress on or off.
+ */
+class ProgressMeter
+{
+  public:
+    explicit ProgressMeter(std::size_t total)
+        : total_(total), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    onCell()
+    {
+        ++done_;
+        const auto now = std::chrono::steady_clock::now();
+        // Repainting per cell would melt the terminal on 100-cell
+        // grids of millisecond scenarios; 200 ms is smooth enough.
+        if (done_ < total_ && now - lastPaint_ < throttle_)
+            return;
+        lastPaint_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        std::fprintf(stderr, "\r  [%zu/%zu cells, %.1f s]", done_,
+                     total_, elapsed);
+        std::fflush(stderr);
+    }
+
+    ~ProgressMeter()
+    {
+        // Clear the line so the report starts at column 0.
+        std::fprintf(stderr, "\r\033[K");
+        std::fflush(stderr);
+    }
+
+  private:
+    const std::size_t total_;
+    std::size_t done_ = 0;
+    const std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPaint_{};
+    static constexpr std::chrono::milliseconds throttle_{200};
+};
+
+} // namespace
 
 std::vector<ScenarioResult>
 sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
@@ -14,8 +69,17 @@ sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
 
+    std::unique_ptr<ProgressMeter> meter;
+    if (!opt.quiet && isatty(fileno(stderr))) {
+        meter = std::make_unique<ProgressMeter>(grid.size());
+        cfg.onResult = [&meter](const ScenarioResult &) {
+            meter->onCell();
+        };
+    }
+
     Campaign campaign(cfg);
     std::vector<ScenarioResult> results = campaign.run(grid);
+    meter.reset();
 
     if (opt.verbose) {
         const CampaignStats &s = campaign.stats();

@@ -30,6 +30,10 @@ struct SweepOptions
     unsigned threads = 0;        ///< 0: PKTCHASE_THREADS or max(4, hw).
     std::uint64_t seed = 1;      ///< Campaign seed.
     bool verbose = true;         ///< Print the thread/cell/time banner.
+    /** Suppress live progress. Progress also stays off when stderr is
+     *  not a TTY (CI logs, redirections), so only interactive runs see
+     *  the "cells done/total" line. */
+    bool quiet = false;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "counter_bus.hh"
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace pktchase::sim
@@ -42,6 +44,8 @@ CounterBus::subscribe(Subscriber s)
 void
 CounterBus::publish(const CounterSample &s)
 {
+    const obs::ScopedSpan span("detect.epoch", "detect");
+    obs::bump(obs::Stat::DetectorEpochs);
     ++published_;
     for (const Subscriber &sub : subs_)
         sub(s);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "logging.hh"
+#include "obs/stats.hh"
 
 namespace pktchase
 {
@@ -29,6 +30,7 @@ EventQueue::step()
     Entry e = heap_.top();
     heap_.pop();
     now_ = e.when;
+    obs::bump(obs::Stat::SimEvents);
     e.cb();
     return true;
 }

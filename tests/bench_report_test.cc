@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for sim::BenchReport emission and the bench_util.hh helpers:
+ * the BENCH_*.json artifact must round-trip through a JSON parser,
+ * the hexfloat map must reproduce every decimal metric bit-exactly,
+ * and two writes of the same report must be byte-identical (the
+ * property performance-tracking tooling diffs on).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+#include "sim/bench_report.hh"
+
+namespace
+{
+
+using namespace pktchase;
+
+/**
+ * A deliberately minimal JSON reader -- just enough of the grammar to
+ * consume BenchReport's output (objects, arrays, strings with the
+ * two escapes the writer emits, and numbers via strtod, which accepts
+ * the hexfloat spellings in the "hex" map when unquoted... the hex
+ * values are strings, so they arrive verbatim for the test to
+ * re-parse). Any syntax surprise fails the test via ADD_FAILURE.
+ */
+struct JsonValue
+{
+    enum Kind { Null, Number, String, Array, Object } kind = Null;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size()) << "trailing junk after JSON";
+        EXPECT_FALSE(failed_);
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return '\0';
+        }
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        else
+            ++pos_;
+    }
+
+    void
+    fail(const std::string &why)
+    {
+        if (!failed_)
+            ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": "
+                          << why;
+        failed_ = true;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size())
+                c = text_[pos_++];
+            out.push_back(c);
+        }
+        expect('"');
+        return out;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        JsonValue v;
+        if (failed_)
+            return v;
+        if (c == '{') {
+            ++pos_;
+            v.kind = JsonValue::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (!failed_) {
+                std::string key = string();
+                expect(':');
+                v.obj.emplace_back(std::move(key), value());
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+            expect('}');
+        } else if (c == '[') {
+            ++pos_;
+            v.kind = JsonValue::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (!failed_) {
+                v.arr.push_back(value());
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+            expect(']');
+        } else if (c == '"') {
+            v.kind = JsonValue::String;
+            v.str = string();
+        } else {
+            v.kind = JsonValue::Number;
+            char *end = nullptr;
+            v.num = std::strtod(text_.c_str() + pos_, &end);
+            if (end == text_.c_str() + pos_)
+                fail("expected a number");
+            pos_ = static_cast<std::size_t>(end - text_.c_str());
+        }
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** A report with awkward values: negatives, tiny, huge, non-dyadic. */
+sim::BenchReport
+sampleReport()
+{
+    sim::BenchReport report("selftest");
+    report.scalar("elapsed_sec", 12.25);
+    report.scalar("count", 3.0);
+    sim::BenchReport::Metrics m1;
+    m1.emplace_back("p99", 0.1);                 // not exactly dyadic
+    m1.emplace_back("rate", 1.2345678901234567e9);
+    m1.emplace_back("delta", -4.9406564584124654e-324); // denormal min
+    sim::BenchReport::Metrics m2;
+    m2.emplace_back("p99", 1e308);
+    report.cell("cells/with \"quotes\" and \\slashes", m1);
+    report.cell("cells/plain", m2);
+    return report;
+}
+
+TEST(BenchReport, RoundTripsThroughJsonParser)
+{
+    const std::string path =
+        testing::TempDir() + "/bench_report_roundtrip.json";
+    ASSERT_TRUE(sampleReport().write(path));
+
+    JsonParser parser(slurp(path));
+    const JsonValue root = parser.parse();
+    ASSERT_FALSE(parser.failed());
+    ASSERT_EQ(root.kind, JsonValue::Object);
+
+    const JsonValue *bench = root.find("bench");
+    ASSERT_NE(bench, nullptr);
+    EXPECT_EQ(bench->str, "selftest");
+    const JsonValue *elapsed = root.find("elapsed_sec");
+    ASSERT_NE(elapsed, nullptr);
+    EXPECT_DOUBLE_EQ(elapsed->num, 12.25);
+
+    const JsonValue *cells = root.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->kind, JsonValue::Array);
+    ASSERT_EQ(cells->arr.size(), 2u);
+
+    const JsonValue &c0 = cells->arr[0];
+    const JsonValue *name = c0.find("name");
+    ASSERT_NE(name, nullptr);
+    // The escaped name must round-trip back to the original.
+    EXPECT_EQ(name->str, "cells/with \"quotes\" and \\slashes");
+    const JsonValue *metrics = c0.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue *rate = metrics->find("rate");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_DOUBLE_EQ(rate->num, 1.2345678901234567e9);
+
+    std::remove(path.c_str());
+}
+
+TEST(BenchReport, HexMapReproducesDecimalMetricsBitExactly)
+{
+    const std::string path =
+        testing::TempDir() + "/bench_report_hex.json";
+    ASSERT_TRUE(sampleReport().write(path));
+
+    JsonParser parser(slurp(path));
+    const JsonValue root = parser.parse();
+    ASSERT_FALSE(parser.failed());
+    const JsonValue *cells = root.find("cells");
+    ASSERT_NE(cells, nullptr);
+    for (const JsonValue &cell : cells->arr) {
+        const JsonValue *metrics = cell.find("metrics");
+        const JsonValue *hex = cell.find("hex");
+        ASSERT_NE(metrics, nullptr);
+        ASSERT_NE(hex, nullptr);
+        ASSERT_EQ(metrics->obj.size(), hex->obj.size());
+        for (std::size_t i = 0; i < metrics->obj.size(); ++i) {
+            EXPECT_EQ(metrics->obj[i].first, hex->obj[i].first);
+            ASSERT_EQ(hex->obj[i].second.kind, JsonValue::String);
+            // strtod accepts the %a spelling; the bits must match the
+            // %.17g decimal exactly (both round-trip IEEE doubles).
+            const double from_hex =
+                std::strtod(hex->obj[i].second.str.c_str(), nullptr);
+            EXPECT_EQ(from_hex, metrics->obj[i].second.num)
+                << cell.find("name")->str << "/"
+                << metrics->obj[i].first;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BenchReport, TwoWritesAreByteIdentical)
+{
+    const std::string a =
+        testing::TempDir() + "/bench_report_rep_a.json";
+    const std::string b =
+        testing::TempDir() + "/bench_report_rep_b.json";
+    const sim::BenchReport report = sampleReport();
+    ASSERT_TRUE(report.write(a));
+    ASSERT_TRUE(report.write(b));
+    EXPECT_EQ(slurp(a), slurp(b));
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(BenchReport, ScalarLastWriteWins)
+{
+    sim::BenchReport report("scalars");
+    report.scalar("x", 1.0);
+    report.scalar("x", 2.0);
+    const std::string path =
+        testing::TempDir() + "/bench_report_scalar.json";
+    ASSERT_TRUE(report.write(path));
+    JsonParser parser(slurp(path));
+    const JsonValue root = parser.parse();
+    const JsonValue *x = root.find("x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_DOUBLE_EQ(x->num, 2.0);
+    std::remove(path.c_str());
+}
+
+TEST(BenchUtil, PercentileRowEmptySampleYieldsZeros)
+{
+    const sim::BenchReport::Metrics row = bench::percentileRow({});
+    ASSERT_EQ(row.size(), sim::kPercentileKeys.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        EXPECT_EQ(row[i].first, sim::kPercentileKeys[i]);
+        EXPECT_EQ(row[i].second, 0.0);
+    }
+}
+
+TEST(BenchUtil, PercentileRowSingleSampleIsConstant)
+{
+    const sim::BenchReport::Metrics row = bench::percentileRow({3.5});
+    ASSERT_EQ(row.size(), sim::kPercentileKeys.size());
+    for (const auto &kv : row)
+        EXPECT_DOUBLE_EQ(kv.second, 3.5);
+}
+
+TEST(BenchUtil, PercentileRowIsMonotoneOverASpread)
+{
+    std::vector<double> samples;
+    for (int i = 1; i <= 1000; ++i)
+        samples.push_back(static_cast<double>(i));
+    const sim::BenchReport::Metrics row = bench::percentileRow(samples);
+    ASSERT_EQ(row.size(), 5u);
+    for (std::size_t i = 1; i < row.size(); ++i)
+        EXPECT_LE(row[i - 1].second, row[i].second);
+    EXPECT_DOUBLE_EQ(row[0].second, pktchase::percentile(samples, 50));
+}
+
+} // namespace
