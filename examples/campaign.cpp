@@ -17,6 +17,15 @@
  *     ./build/examples/campaign --list
  *     ./build/examples/campaign fig7q --trace=trace.json
  *
+ * Multi-process sharding: --shard=i/N runs the deterministic slice
+ * {i, i+N, ...} of the grid and --report writes the mergeable
+ * campaign report; --merge validates and reassembles a shard set into
+ * the full-grid report, byte-identical to an unsharded --report run:
+ *
+ *     ./build/examples/campaign figD1 --shard=0/4 --report=s0.json
+ *     ...                              --shard=3/4 --report=s3.json
+ *     ./build/examples/campaign --merge full.json s0.json ... s3.json
+ *
  * --threads=0 (the default) resolves like the benches: the
  * PKTCHASE_THREADS environment variable, else max(4, hardware).
  * Reports are bit-identical across thread counts at a fixed seed --
@@ -29,8 +38,10 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hh"
+#include "runtime/fabric/shard.hh"
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
 #include "workload/attack_eval.hh"
@@ -54,39 +65,66 @@ parseUnsigned(const std::string &digits, std::uint64_t &out)
     return true;
 }
 
-/** Parse "--threads=N" / "--seed=S" into @p opt; false on junk. */
+/** Flags accumulated by parseFlag(). */
+struct Options
+{
+    runtime::SweepOptions sweep;
+    bool seed_set = false;
+    bool list = false;
+    bool merge = false;
+    std::string trace_path;
+    std::string report_path;
+    runtime::ShardSpec shard; ///< Defaults to the unsharded 0/1.
+    bool shard_set = false;
+};
+
+/** Parse one "--flag[=value]" into @p opt; false on junk. */
 bool
-parseFlag(const std::string &arg, runtime::SweepOptions &opt,
-          bool &seed_set, bool &list, std::string &trace_path)
+parseFlag(const std::string &arg, Options &opt)
 {
     std::uint64_t value = 0;
     const std::string threads = "--threads=";
     const std::string seed = "--seed=";
     const std::string trace = "--trace=";
+    const std::string shard = "--shard=";
+    const std::string report = "--report=";
     if (arg.rfind(threads, 0) == 0) {
         if (!parseUnsigned(arg.substr(threads.size()), value) ||
             value > std::numeric_limits<unsigned>::max())
             return false;
-        opt.threads = static_cast<unsigned>(value);
+        opt.sweep.threads = static_cast<unsigned>(value);
         return true;
     }
     if (arg.rfind(seed, 0) == 0) {
         if (!parseUnsigned(arg.substr(seed.size()), value))
             return false;
-        opt.seed = value;
-        seed_set = true;
+        opt.sweep.seed = value;
+        opt.seed_set = true;
         return true;
     }
     if (arg.rfind(trace, 0) == 0) {
-        trace_path = arg.substr(trace.size());
-        return !trace_path.empty();
+        opt.trace_path = arg.substr(trace.size());
+        return !opt.trace_path.empty();
+    }
+    if (arg.rfind(shard, 0) == 0) {
+        opt.shard_set = true;
+        return runtime::parseShardSpec(arg.substr(shard.size()),
+                                       opt.shard);
+    }
+    if (arg.rfind(report, 0) == 0) {
+        opt.report_path = arg.substr(report.size());
+        return !opt.report_path.empty();
+    }
+    if (arg == "--merge") {
+        opt.merge = true;
+        return true;
     }
     if (arg == "--list") {
-        list = true;
+        opt.list = true;
         return true;
     }
     if (arg == "--quiet") {
-        opt.quiet = true;
+        opt.sweep.quiet = true;
         return true;
     }
     return false;
@@ -108,8 +146,10 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [<grid>] [--threads=N] [--seed=S] "
-                 "[--trace=out.json] [--list] [--quiet]\n",
-                 argv0);
+                 "[--shard=i/N] [--report=out.json] "
+                 "[--trace=out.json] [--list] [--quiet]\n"
+                 "       %s --merge <out.json> <shard.json>...\n",
+                 argv0, argv0);
     return 1;
 }
 
@@ -122,34 +162,60 @@ main(int argc, char **argv)
     workload::registerAttackScenarios();
     workload::registerDetectionScenarios();
 
-    runtime::SweepOptions opt;
-    bool seed_set = false;
-    bool list = false;
+    Options opt;
     std::string grid_name;
-    std::string trace_path;
+    std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
-            if (!parseFlag(arg, opt, seed_set, list, trace_path))
+            if (!parseFlag(arg, opt))
                 return usage(argv[0]);
-        } else if (grid_name.empty()) {
-            grid_name = arg;
         } else {
-            return usage(argv[0]);
+            positional.push_back(arg);
         }
     }
 
-    if (list) {
+    if (opt.merge) {
+        // campaign --merge <out.json> <shard.json>...
+        if (positional.size() < 2)
+            return usage(argv[0]);
+        const std::string out = positional.front();
+        const std::vector<std::string> inputs(positional.begin() + 1,
+                                              positional.end());
+        const std::string err =
+            runtime::mergeShardReports(inputs, out);
+        if (!err.empty()) {
+            std::fprintf(stderr, "merge rejected: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("merged %zu shard(s) into %s\n", inputs.size(),
+                    out.c_str());
+        return 0;
+    }
+
+    if (positional.size() > 1)
+        return usage(argv[0]);
+    if (!positional.empty())
+        grid_name = positional.front();
+
+    if (opt.list) {
         printGrids(stdout);
         return 0;
+    }
+
+    if ((opt.shard_set || !opt.report_path.empty()) &&
+        grid_name.empty()) {
+        std::fprintf(stderr,
+                     "--shard/--report need a grid to run\n");
+        return usage(argv[0]);
     }
 
     // The session spans the whole run and writes its file when it goes
     // out of scope at the end of main. Without --trace no session
     // exists and every span compiles down to a TLS-null check.
     std::optional<obs::TraceSession> trace;
-    if (!trace_path.empty())
-        trace.emplace(trace_path);
+    if (!opt.trace_path.empty())
+        trace.emplace(opt.trace_path);
 
     if (!grid_name.empty()) {
         if (!runtime::ScenarioRegistry::instance().contains(grid_name)) {
@@ -158,8 +224,31 @@ main(int argc, char **argv)
             printGrids(stderr);
             return 1;
         }
-        const auto results = runtime::sweep(grid_name, opt);
+        const std::vector<runtime::Scenario> grid =
+            runtime::ScenarioRegistry::instance().make(grid_name);
+        runtime::SweepOptions sweep_opt = opt.sweep;
+        sweep_opt.subset =
+            runtime::shardIndices(grid.size(), opt.shard);
+        if (opt.shard_set && sweep_opt.subset.empty()) {
+            std::fprintf(stderr,
+                         "shard %u/%u of the %zu-cell grid \"%s\" is "
+                         "empty\n",
+                         opt.shard.index, opt.shard.count, grid.size(),
+                         grid_name.c_str());
+            return 1;
+        }
+        const auto results = runtime::sweep(grid, sweep_opt);
         std::fputs(runtime::formatReport(results).c_str(), stdout);
+        if (!opt.report_path.empty()) {
+            const sim::BenchReport report = runtime::campaignReport(
+                grid_name, sweep_opt.seed, grid.size(), opt.shard,
+                results);
+            if (!report.write(opt.report_path))
+                return 1;
+            std::printf("wrote %s (shard %u/%u, %zu cells)\n",
+                        opt.report_path.c_str(), opt.shard.index,
+                        opt.shard.count, results.size());
+        }
         return 0;
     }
 
@@ -171,10 +260,10 @@ main(int argc, char **argv)
     std::printf("\nrunning a reduced fig14 sweep in parallel:\n");
     const auto grid = workload::fig14ThroughputGrid(800);
 
-    runtime::SweepOptions fast = opt;
+    runtime::SweepOptions fast = opt.sweep;
     if (fast.threads == 0)
         fast.threads = 4;
-    if (!seed_set)
+    if (!opt.seed_set)
         fast.seed = 42; // The demo's historical pinned seed.
     const auto parallel = runtime::sweep(grid, fast);
 
@@ -185,7 +274,8 @@ main(int argc, char **argv)
 
     // Determinism contract: merged stats are bit-identical to the
     // serial run because each cell's randomness depends only on
-    // (campaign seed, grid index) and the merge is by index.
+    // (campaign seed, grid index) and the merge is by index -- with
+    // or without work stealing.
     runtime::SweepOptions serial = fast;
     serial.threads = 1;
     serial.verbose = false;

@@ -30,6 +30,10 @@ statName(Stat s)
         return "policy_hooks";
       case Stat::DetectorEpochs:
         return "detector_epochs";
+      case Stat::CellsStolen:
+        return "cells_stolen";
+      case Stat::StealAttempts:
+        return "steal_attempts";
     }
     panic("obs::statName: unknown Stat");
 }

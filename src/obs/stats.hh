@@ -46,10 +46,20 @@ enum class Stat : unsigned
     ProbeRounds,     ///< PrimeProbeMonitor::probeAll rounds.
     PolicyHooks,     ///< Per-packet BufferPolicy hook invocations.
     DetectorEpochs,  ///< CounterBus samples published.
+    /**
+     * Scheduling counters (CellsStolen, StealAttempts) are bumped by
+     * the work-stealing fabric *between* campaign cells, outside every
+     * per-cell snapshot window, so per-cell deltas report them as 0 at
+     * any thread count and the threads=N == threads=1 contract holds.
+     * Their totals depend on scheduling and are surfaced through
+     * CampaignStats/FabricStatus instead.
+     */
+    CellsStolen,     ///< Campaign cells taken from another worker.
+    StealAttempts,   ///< StealFabric probes of foreign queues.
 };
 
 /** Number of Stat enumerators. */
-constexpr std::size_t kStatCount = 7;
+constexpr std::size_t kStatCount = 9;
 
 /** Stable snake_case name of @p s ("sim_events", ...). */
 const char *statName(Stat s);

@@ -1,5 +1,6 @@
 #include "campaign.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -34,17 +35,37 @@ Campaign::Campaign(const CampaignConfig &cfg)
 std::vector<ScenarioResult>
 Campaign::run(const std::vector<Scenario> &grid)
 {
+    std::vector<std::size_t> all(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        all[i] = i;
+    return run(grid, all);
+}
+
+std::vector<ScenarioResult>
+Campaign::run(const std::vector<Scenario> &grid,
+              const std::vector<std::size_t> &subset)
+{
     const auto t0 = std::chrono::steady_clock::now();
 
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+        if (subset[k] >= grid.size())
+            fatal("Campaign: subset index out of range");
+        if (k > 0 && subset[k] <= subset[k - 1])
+            fatal("Campaign: subset must be strictly increasing");
+    }
+
     unsigned threads = cfg_.threads ? cfg_.threads : defaultThreads();
-    if (threads > grid.size() && !grid.empty())
-        threads = static_cast<unsigned>(grid.size());
+    if (threads > subset.size() && !subset.empty())
+        threads = static_cast<unsigned>(subset.size());
 
     stats_ = CampaignStats{};
     stats_.threadsUsed = threads ? threads : 1;
 
-    std::vector<ScenarioResult> results(grid.size());
+    std::vector<ScenarioResult> results(subset.size());
 
+    // Seeding uses the *full-grid* index, so a subset (shard) run
+    // produces bit-identical cells to the same positions of an
+    // unsharded run.
     auto runCell = [&](std::size_t index) {
         ScenarioContext ctx(index, cfg_.seed);
         // Cells run start-to-finish on one thread, so the thread-local
@@ -63,18 +84,33 @@ Campaign::run(const std::vector<Scenario> &grid)
         return r;
     };
 
+    // subset is strictly increasing, so a result's slot in the output
+    // vector is recoverable by binary search on its full-grid index.
+    auto slotOf = [&subset](std::size_t index) {
+        const auto it =
+            std::lower_bound(subset.begin(), subset.end(), index);
+        if (it == subset.end() || *it != index)
+            panic("Campaign: result index not in subset");
+        return static_cast<std::size_t>(it - subset.begin());
+    };
+
     if (threads <= 1) {
         // Serial reference path: same per-cell seeding, trivial merge.
-        for (std::size_t i = 0; i < grid.size(); ++i) {
-            results[i] = runCell(i);
+        for (std::size_t k = 0; k < subset.size(); ++k) {
+            results[k] = runCell(subset[k]);
             if (cfg_.onResult)
-                cfg_.onResult(results[i]);
+                cfg_.onResult(results[k]);
         }
-        stats_.scenariosRun = grid.size();
+        stats_.scenariosRun = subset.size();
         stats_.wallSeconds = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
         return results;
     }
+
+    // The work-stealing fabric schedules subset *positions*: position
+    // k seeds worker k % N's queue (static-shard placement), and idle
+    // workers steal the tail of skewed grids instead of spinning.
+    StealFabric fabric(subset.size(), threads, cfg_.stealQueueCapacity);
 
     // One SPSC result ring per worker: the worker is the only
     // producer, this (driver) thread the only consumer.
@@ -92,9 +128,9 @@ Campaign::run(const std::vector<Scenario> &grid)
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
             obs::attachWorkerThread(w);
-            // Static index sharding: worker w owns cells w, w+N, ...
-            for (std::size_t i = w; i < grid.size(); i += threads) {
-                ScenarioResult r = runCell(i);
+            std::size_t position = 0;
+            while (fabric.next(w, position)) {
+                ScenarioResult r = runCell(subset[position]);
                 while (!rings[w]->tryPush(std::move(r))) {
                     // Ring full: the driver is behind. Back off; the
                     // result stays intact because a failed tryPush
@@ -109,20 +145,20 @@ Campaign::run(const std::vector<Scenario> &grid)
 
     // Drain rings until every cell has reported.
     std::size_t collected = 0;
-    while (collected < grid.size()) {
+    while (collected < subset.size()) {
         bool progress = false;
         for (unsigned w = 0; w < threads; ++w) {
             ScenarioResult r;
             while (rings[w]->tryPop(r)) {
-                if (r.index >= results.size())
-                    panic("Campaign: result index out of range");
                 if (cfg_.onResult)
                     cfg_.onResult(r);
-                results[r.index] = std::move(r);
+                results[slotOf(r.index)] = std::move(r);
                 ++collected;
                 progress = true;
             }
         }
+        if (cfg_.onTick)
+            cfg_.onTick(fabric.status());
         if (!progress) {
             // Scenarios run for milliseconds to seconds; don't burn a
             // core busy-polling empty rings while the workers (which
@@ -134,9 +170,11 @@ Campaign::run(const std::vector<Scenario> &grid)
     for (std::thread &t : workers)
         t.join();
 
-    stats_.scenariosRun = grid.size();
+    stats_.scenariosRun = subset.size();
     for (std::uint64_t retries : fullRetries)
         stats_.ringFullRetries += retries;
+    stats_.cellsStolen = fabric.cellsStolen();
+    stats_.stealAttempts = fabric.stealAttempts();
     stats_.wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
     return results;

@@ -1,15 +1,25 @@
 /**
  * @file
- * The Campaign executor: shard a scenario grid across worker threads,
- * hand results back over lock-free SPSC rings, merge deterministically.
+ * The Campaign executor: schedule a scenario grid across worker
+ * threads on the work-stealing fabric, hand results back over
+ * lock-free SPSC rings, merge deterministically.
  *
- * Sharding is static and index-based (worker w runs cells w, w+N,
- * w+2N, ...), each worker pushes finished ScenarioResults into its own
- * SpscRing, and the driver thread polls the rings and places each
- * result at its grid index. Because every cell's randomness derives
- * only from (campaign seed, grid index) and the merge is by index, a
- * run with N threads is bit-identical to threads=1 -- the property the
- * determinism test asserts byte-for-byte on the formatted report.
+ * Scheduling is the StealFabric's: cell i seeds worker i % N's queue
+ * (the old static-shard placement), but an idle worker steals from
+ * loaded neighbours instead of exiting, so one slow cell no longer
+ * serializes a skewed grid's tail. Each worker pushes finished
+ * ScenarioResults into its own SpscRing, and the driver thread polls
+ * the rings and places each result at its grid index. Because every
+ * cell's randomness derives only from (campaign seed, grid index) --
+ * never from the worker that happened to run it -- and the merge is by
+ * index, a run with N threads is bit-identical to threads=1 whether or
+ * not any cell was stolen; the determinism tests assert that
+ * byte-for-byte on the formatted report.
+ *
+ * A campaign can also run a *subset* of a grid (the multi-process
+ * shard layer's slice, see runtime/fabric/shard.hh): cells keep their
+ * full-grid indices, so a sharded cell is bit-identical to the same
+ * cell in an unsharded run.
  */
 
 #ifndef PKTCHASE_RUNTIME_CAMPAIGN_HH
@@ -19,6 +29,7 @@
 #include <functional>
 #include <vector>
 
+#include "runtime/fabric/fabric.hh"
 #include "runtime/scenario.hh"
 
 namespace pktchase::runtime
@@ -36,12 +47,24 @@ struct CampaignConfig
     /** Per-worker result-ring capacity (rounded up to a power of 2). */
     std::size_t ringCapacity = 64;
 
+    /** Per-worker fabric queue capacity; overflow spills into the
+     *  shared injection queue. */
+    std::size_t stealQueueCapacity = StealFabric::kDefaultQueueCapacity;
+
     /**
      * Called on the driver thread as each result is collected, in
      * completion order (NOT grid order -- completion order depends on
      * thread scheduling; only the merged results are deterministic).
      */
     std::function<void(const ScenarioResult &)> onResult;
+
+    /**
+     * Called on the driver thread each collection pass with a live
+     * fabric sample (queue depths, steals). Purely observational --
+     * sampling never touches results. Not called on serial runs
+     * (threads <= 1), which have no fabric.
+     */
+    std::function<void(const FabricStatus &)> onTick;
 };
 
 /** Execution counters, aggregated from the per-worker shards. */
@@ -51,6 +74,10 @@ struct CampaignStats
     unsigned threadsUsed = 0;
     /** Producer-side full-ring retries (backpressure indicator). */
     std::uint64_t ringFullRetries = 0;
+    /** Cells a worker stole from another worker's queue. */
+    std::uint64_t cellsStolen = 0;
+    /** Steal probes of foreign queues, successful or not. */
+    std::uint64_t stealAttempts = 0;
     /** Wall-clock seconds for the whole grid (not deterministic). */
     double wallSeconds = 0.0;
 };
@@ -68,6 +95,16 @@ class Campaign
      * for index with @p grid (results[i] came from grid[i]).
      */
     std::vector<ScenarioResult> run(const std::vector<Scenario> &grid);
+
+    /**
+     * Run only the cells of @p grid named by @p subset (strictly
+     * increasing full-grid indices). Each cell is seeded with its
+     * full-grid index, so results are bit-identical to the same cells
+     * of an unsharded run. Returns results in @p subset order with
+     * ScenarioResult::index holding the full-grid index.
+     */
+    std::vector<ScenarioResult> run(const std::vector<Scenario> &grid,
+                                    const std::vector<std::size_t> &subset);
 
     /** Counters of the most recent run(). */
     const CampaignStats &stats() const { return stats_; }

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The work-stealing campaign fabric: per-worker cell queues plus a
+ * shared MPMC injection queue, with a lock-free steal path.
+ *
+ * Static index sharding (worker w runs cells w, w+N, ...) wastes
+ * wall-clock on skewed grids: one adaptive-partition cell can run 3-5x
+ * longer than its neighbours, so the unlucky worker serializes the
+ * tail while the others idle. The fabric keeps the same initial
+ * round-robin placement -- cell i seeds worker i % N's queue, so the
+ * common balanced case behaves exactly like static sharding -- but a
+ * worker that drains its own queue steals from the others instead of
+ * exiting, and cells that overflow a bounded per-worker queue spill
+ * into the shared injection queue every worker polls.
+ *
+ * Determinism: the fabric decides only *which worker* runs a cell,
+ * never what the cell computes. Every cell's randomness derives from
+ * (campaign seed, grid index) and the caller merges results by index,
+ * so a stolen cell produces bit-identical output to the same cell run
+ * in place -- threads=N stays byte-identical to threads=1 (the
+ * contract the campaign determinism tests and the TSan steal stress
+ * pin).
+ *
+ * All queues are pre-filled before the first next() call and nothing
+ * enqueues afterwards, so emptiness is monotone and "own queue,
+ * injection queue, and every victim empty" is a sound termination
+ * check -- no work can appear after it passes.
+ */
+
+#ifndef PKTCHASE_RUNTIME_FABRIC_FABRIC_HH
+#define PKTCHASE_RUNTIME_FABRIC_FABRIC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/fabric/mpmc_ring.hh"
+
+namespace pktchase::runtime
+{
+
+/**
+ * A live sample of the fabric's queues and steal counters, taken by
+ * the driver thread for the progress line. Approximate by nature (the
+ * workers keep draining while it is read).
+ */
+struct FabricStatus
+{
+    /** Per-worker queue depth, one entry per worker. */
+    std::vector<std::size_t> queueDepth;
+    /** Items waiting in the shared injection queue. */
+    std::size_t injectionDepth = 0;
+    /** Cells executed so far, across all workers. */
+    std::uint64_t cellsExecuted = 0;
+    /** Cells a worker took from another worker's queue. */
+    std::uint64_t cellsStolen = 0;
+    /** tryPop attempts on other workers' queues (hits + misses). */
+    std::uint64_t stealAttempts = 0;
+};
+
+/**
+ * Distributes a fixed set of item indices across worker queues and
+ * serves them back through next() with work stealing.
+ *
+ * Usage: construct with the item count and worker count (the items
+ * are queued in the constructor), then have worker w loop
+ * `while (fabric.next(w, item)) run(item);`. next() is safe to call
+ * concurrently from every worker; items are served exactly once.
+ */
+class StealFabric
+{
+  public:
+    /**
+     * Queue items 0..@p items-1 across @p workers queues. Item i seeds
+     * queue i % workers (the static-shard placement); items beyond
+     * @p queueCapacity per worker spill to the injection queue.
+     */
+    StealFabric(std::size_t items, unsigned workers,
+                std::size_t queueCapacity = kDefaultQueueCapacity);
+
+    StealFabric(const StealFabric &) = delete;
+    StealFabric &operator=(const StealFabric &) = delete;
+
+    /**
+     * Serve the next item to worker @p worker: its own queue first,
+     * then the injection queue, then one steal sweep over the other
+     * workers. Returns false when every queue is empty -- no more
+     * items will ever appear, so false is final.
+     */
+    bool next(unsigned worker, std::size_t &item);
+
+    unsigned workers() const { return workers_; }
+
+    /** Sample queues and counters (driver-side, for progress). */
+    FabricStatus status() const;
+
+    /** Total cells taken from foreign queues, after the run. */
+    std::uint64_t cellsStolen() const;
+
+    /** Total steal probes (successful or not), after the run. */
+    std::uint64_t stealAttempts() const;
+
+    /** Per-worker default queue capacity (spill beyond goes to the
+     *  injection queue). Big enough that realistic grids fit without
+     *  spilling; small enough that a worker cannot hoard a huge grid. */
+    static constexpr std::size_t kDefaultQueueCapacity = 256;
+
+  private:
+    /** Per-worker steal counters, padded so relaxed increments from
+     *  different workers never share a cache line. */
+    struct alignas(cacheLineBytes) WorkerCounters
+    {
+        std::atomic<std::uint64_t> executed{0};
+        std::atomic<std::uint64_t> stolen{0};
+        std::atomic<std::uint64_t> attempts{0};
+    };
+
+    const unsigned workers_;
+    std::vector<std::unique_ptr<MpmcRing<std::size_t>>> queues_;
+    std::unique_ptr<MpmcRing<std::size_t>> injection_;
+    std::vector<WorkerCounters> counters_;
+};
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_FABRIC_FABRIC_HH

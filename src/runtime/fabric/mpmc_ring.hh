@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Fixed-size lock-free multi-producer/multi-consumer ring.
+ *
+ * The MPMC generalization of runtime/spsc_ring.hh, in the bounded
+ * per-slot-sequence style of the related-repo concurrent ring buffers:
+ * every slot carries a sequence counter that encodes whether it is
+ * ready for the next producer or the next consumer, so push and pop
+ * are a single CAS on the shared cursor plus a release store on the
+ * slot -- no locks, no unbounded spinning while the ring holds items.
+ * Head and tail cursors live on separate cache lines so producers and
+ * consumers do not false-share.
+ *
+ * The work-stealing fabric uses one MpmcRing per worker as that
+ * worker's cell deque (owner pushes during the pre-fill, any worker
+ * may pop -- a steal is just a tryPop on a victim's ring) plus one
+ * shared injection ring for cells that overflow the per-worker
+ * queues.
+ *
+ * Progress guarantees under the fabric's usage: the fabric fills every
+ * ring before the workers start and never pushes afterwards, so during
+ * the drain phase tryPop() fails only when the ring is truly empty --
+ * emptiness is monotone, which is what makes the workers' "every queue
+ * empty => no more work will ever appear" termination check sound.
+ */
+
+#ifndef PKTCHASE_RUNTIME_FABRIC_MPMC_RING_HH
+#define PKTCHASE_RUNTIME_FABRIC_MPMC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/spsc_ring.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace pktchase::runtime
+{
+
+/**
+ * Bounded lock-free MPMC queue of movable values.
+ *
+ * Any number of threads may call tryPush() and tryPop() concurrently.
+ * Items pushed by one producer are popped in push order as long as a
+ * single consumer drains them (the SPSC drain-order property the unit
+ * tests pin); with several consumers the global pop order is whatever
+ * the CAS races produce, which is fine for a work queue.
+ */
+template <typename T>
+class MpmcRing
+{
+  public:
+    /** Construct with space for @p capacity items (rounded up to 2^k). */
+    explicit MpmcRing(std::size_t capacity)
+        : mask_(bitCeil64(capacity < 2 ? 2 : capacity) - 1),
+          slots_(mask_ + 1)
+    {
+        if (capacity == 0)
+            fatal("MpmcRing requires a nonzero capacity");
+        // Slot i starts "ready for the producer of position i".
+        for (std::uint64_t i = 0; i <= mask_; ++i)
+            slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcRing(const MpmcRing &) = delete;
+    MpmcRing &operator=(const MpmcRing &) = delete;
+
+    /** Number of item slots. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue @p item. Returns false (item untouched) when the ring
+     * is full.
+     */
+    bool
+    tryPush(T &&item)
+    {
+        std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[pos & mask_];
+            const std::uint64_t seq =
+                slot.seq.load(std::memory_order_acquire);
+            const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                                     static_cast<std::int64_t>(pos);
+            if (dif == 0) {
+                // Slot is ready for this position; claim it.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    slot.value = std::move(item);
+                    slot.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                // The slot still holds an unconsumed item from one lap
+                // ago: the ring is full.
+                return false;
+            } else {
+                // Another producer claimed this position; reload.
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Dequeue into @p out. Returns false when the ring is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        std::uint64_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots_[pos & mask_];
+            const std::uint64_t seq =
+                slot.seq.load(std::memory_order_acquire);
+            const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                                     static_cast<std::int64_t>(pos + 1);
+            if (dif == 0) {
+                // Slot holds the item for this position; claim it.
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    out = std::move(slot.value);
+                    // Mark the slot ready for the producer one lap on.
+                    slot.seq.store(pos + mask_ + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                // The producer for this position has not published: the
+                // ring is empty (under pre-fill usage, truly empty).
+                return false;
+            } else {
+                // Another consumer claimed this position; reload.
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Item count as of one relaxed cursor sample. Only a hint (both
+     * cursors move concurrently); the progress meter's queue-depth
+     * readout is its one consumer.
+     */
+    std::size_t
+    approxSize() const
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+    }
+
+    /** Approximate emptiness; exact once all producers are quiescent. */
+    bool empty() const { return approxSize() == 0; }
+
+  private:
+    /**
+     * One slot: the per-slot sequence is the MPMC handshake. seq ==
+     * position means "producer may fill", seq == position + 1 means
+     * "consumer may take", seq == position + capacity re-arms the slot
+     * for the next lap.
+     */
+    struct Slot
+    {
+        std::atomic<std::uint64_t> seq{0};
+        T value{};
+    };
+
+    const std::uint64_t mask_;
+    std::vector<Slot> slots_;
+
+    /** Consumer cursor, alone on its cache line. */
+    alignas(cacheLineBytes) std::atomic<std::uint64_t> head_{0};
+
+    /** Producer cursor, alone on its cache line. */
+    alignas(cacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+
+    /** Keep whatever follows the ring off the producer's line. */
+    [[maybe_unused]] char pad_[cacheLineBytes -
+                               sizeof(std::atomic<std::uint64_t>)];
+};
+
+} // namespace pktchase::runtime
+
+#endif // PKTCHASE_RUNTIME_FABRIC_MPMC_RING_HH

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include <unistd.h>
 
@@ -15,10 +16,12 @@ namespace
 {
 
 /**
- * Throttled "cells done/total" line on stderr. Progress is cosmetic:
- * it is driven from Campaign's onResult hook (driver thread only, so
- * no locking) and never touches the results, keeping the merged
- * output bit-identical with progress on or off.
+ * Throttled "cells done/total" line on stderr, with the fabric's
+ * per-worker queue depths and steal counters when the campaign runs
+ * in parallel. Progress is cosmetic: it is driven from Campaign's
+ * onResult/onTick hooks (driver thread only, so no locking) and never
+ * touches the results, keeping the merged output bit-identical with
+ * progress on or off.
  */
 class ProgressMeter
 {
@@ -32,17 +35,15 @@ class ProgressMeter
     onCell()
     {
         ++done_;
-        const auto now = std::chrono::steady_clock::now();
-        // Repainting per cell would melt the terminal on 100-cell
-        // grids of millisecond scenarios; 200 ms is smooth enough.
-        if (done_ < total_ && now - lastPaint_ < throttle_)
-            return;
-        lastPaint_ = now;
-        const double elapsed =
-            std::chrono::duration<double>(now - start_).count();
-        std::fprintf(stderr, "\r  [%zu/%zu cells, %.1f s]", done_,
-                     total_, elapsed);
-        std::fflush(stderr);
+        maybePaint(done_ == total_);
+    }
+
+    void
+    onTick(const FabricStatus &status)
+    {
+        fabric_ = status;
+        haveFabric_ = true;
+        maybePaint(false);
     }
 
     ~ProgressMeter()
@@ -53,8 +54,46 @@ class ProgressMeter
     }
 
   private:
+    void
+    maybePaint(bool force)
+    {
+        const auto now = std::chrono::steady_clock::now();
+        // Repainting per cell would melt the terminal on 100-cell
+        // grids of millisecond scenarios; 200 ms is smooth enough.
+        if (!force && now - lastPaint_ < throttle_)
+            return;
+        lastPaint_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        std::string line = "\r  [" + std::to_string(done_) + "/" +
+                           std::to_string(total_) + " cells, ";
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.1f s", elapsed);
+        line += buf;
+        if (haveFabric_) {
+            // "q 3/2/0/1+4" = per-worker queue depths, "+N" the
+            // injection-queue spill; steals as hits/attempts.
+            line += " | q ";
+            for (std::size_t w = 0; w < fabric_.queueDepth.size(); ++w) {
+                if (w)
+                    line += '/';
+                line += std::to_string(fabric_.queueDepth[w]);
+            }
+            if (fabric_.injectionDepth)
+                line += "+" + std::to_string(fabric_.injectionDepth);
+            line += " | steals " +
+                    std::to_string(fabric_.cellsStolen) + "/" +
+                    std::to_string(fabric_.stealAttempts);
+        }
+        line += "]\033[K";
+        std::fputs(line.c_str(), stderr);
+        std::fflush(stderr);
+    }
+
     const std::size_t total_;
     std::size_t done_ = 0;
+    FabricStatus fabric_;
+    bool haveFabric_ = false;
     const std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point lastPaint_{};
     static constexpr std::chrono::milliseconds throttle_{200};
@@ -69,25 +108,35 @@ sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
     cfg.threads = opt.threads;
     cfg.seed = opt.seed;
 
+    const std::size_t cells =
+        opt.subset.empty() ? grid.size() : opt.subset.size();
+
     std::unique_ptr<ProgressMeter> meter;
     if (!opt.quiet && isatty(fileno(stderr))) {
-        meter = std::make_unique<ProgressMeter>(grid.size());
+        meter = std::make_unique<ProgressMeter>(cells);
         cfg.onResult = [&meter](const ScenarioResult &) {
             meter->onCell();
+        };
+        cfg.onTick = [&meter](const FabricStatus &status) {
+            meter->onTick(status);
         };
     }
 
     Campaign campaign(cfg);
-    std::vector<ScenarioResult> results = campaign.run(grid);
+    std::vector<ScenarioResult> results =
+        opt.subset.empty() ? campaign.run(grid)
+                           : campaign.run(grid, opt.subset);
     meter.reset();
 
     if (opt.verbose) {
         const CampaignStats &s = campaign.stats();
         std::printf("  [campaign: %zu cells on %u threads, seed %llu, "
-                    "%.2f s]\n\n",
+                    "%.2f s, %llu stolen/%llu steal attempts]\n\n",
                     s.scenariosRun, s.threadsUsed,
                     static_cast<unsigned long long>(cfg.seed),
-                    s.wallSeconds);
+                    s.wallSeconds,
+                    static_cast<unsigned long long>(s.cellsStolen),
+                    static_cast<unsigned long long>(s.stealAttempts));
     }
     return results;
 }

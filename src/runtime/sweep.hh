@@ -4,11 +4,13 @@
  *
  * runtime::sweep() is the one call a bench needs: it resolves the
  * worker-thread count (PKTCHASE_THREADS overrides the default), runs
- * the grid through a Campaign, optionally narrates progress, and
- * returns merged results in grid order for the caller to format into
- * its paper-style table. A name-based overload pulls the grid from the
- * ScenarioRegistry so front-ends can expose every registered
- * experiment without knowing how to build any of them.
+ * the grid through a Campaign on the work-stealing fabric, optionally
+ * narrates progress, and returns merged results in grid order for the
+ * caller to format into its paper-style table. A name-based overload
+ * pulls the grid from the ScenarioRegistry so front-ends can expose
+ * every registered experiment without knowing how to build any of
+ * them. SweepOptions::subset restricts a run to a deterministic slice
+ * of the grid -- the multi-process shard layer's entry point.
  */
 
 #ifndef PKTCHASE_RUNTIME_SWEEP_HH
@@ -32,13 +34,20 @@ struct SweepOptions
     bool verbose = true;         ///< Print the thread/cell/time banner.
     /** Suppress live progress. Progress also stays off when stderr is
      *  not a TTY (CI logs, redirections), so only interactive runs see
-     *  the "cells done/total" line. */
+     *  the "cells done/total" line. When on, the line also reports the
+     *  per-worker fabric queue depths and the steal counters, so a
+     *  skewed grid is diagnosable from the terminal. */
     bool quiet = false;
+    /** When non-empty: run only these full-grid indices (strictly
+     *  increasing). Cells keep their full-grid seeds, so a sliced run
+     *  is bit-identical to the same cells of a full run. */
+    std::vector<std::size_t> subset;
 };
 
 /**
  * Run @p grid across worker threads and return merged results in grid
- * order. Deterministic in everything except wall-clock timing.
+ * order (subset order when SweepOptions::subset is set). Deterministic
+ * in everything except wall-clock timing.
  */
 std::vector<ScenarioResult> sweep(const std::vector<Scenario> &grid,
                                   const SweepOptions &opt = SweepOptions{});

@@ -1,5 +1,6 @@
 #include "bench_report.hh"
 
+#include <cinttypes>
 #include <cstdio>
 
 namespace pktchase::sim
@@ -66,9 +67,37 @@ BenchReport::scalar(const std::string &key, double value)
 }
 
 void
+BenchReport::meta(const std::string &key, const std::string &value)
+{
+    for (auto &kv : metas_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    metas_.emplace_back(key, value);
+}
+
+void
 BenchReport::cell(const std::string &name, const Metrics &metrics)
 {
-    cells_.emplace_back(name, metrics);
+    Cell c;
+    c.name = name;
+    c.metrics = metrics;
+    cells_.push_back(std::move(c));
+}
+
+void
+BenchReport::cell(std::size_t index, std::uint64_t seed,
+                  const std::string &name, const Metrics &metrics)
+{
+    Cell c;
+    c.name = name;
+    c.metrics = metrics;
+    c.hasRow = true;
+    c.index = index;
+    c.seed = seed;
+    cells_.push_back(std::move(c));
 }
 
 bool
@@ -85,15 +114,27 @@ BenchReport::write(const std::string &path) const
 
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
                  jsonEscape(name_).c_str());
+    for (const auto &kv : metas_) {
+        std::fprintf(f, "  \"%s\": \"%s\",\n",
+                     jsonEscape(kv.first).c_str(),
+                     jsonEscape(kv.second).c_str());
+    }
     for (const auto &kv : scalars_) {
         std::fprintf(f, "  \"%s\": %.17g,\n",
                      jsonEscape(kv.first).c_str(), kv.second);
     }
     std::fprintf(f, "  \"cells\": [\n");
     for (std::size_t i = 0; i < cells_.size(); ++i) {
-        std::fprintf(f, "    {\"name\": \"%s\",\n",
-                     jsonEscape(cells_[i].first).c_str());
-        writeMetrics(f, cells_[i].second, "     ");
+        const Cell &c = cells_[i];
+        std::fprintf(f, "    {");
+        if (c.hasRow) {
+            std::fprintf(f, "\"index\": %zu, \"seed\": \"0x%016" PRIx64
+                            "\",\n     ",
+                         c.index, c.seed);
+        }
+        std::fprintf(f, "\"name\": \"%s\",\n",
+                     jsonEscape(c.name).c_str());
+        writeMetrics(f, c.metrics, "     ");
         std::fprintf(f, "}%s\n", i + 1 < cells_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -11,6 +11,14 @@
  * detection) all route their JSON through this helper instead of
  * hand-rolling fprintf blocks.
  *
+ * The campaign shard layer reuses the same writer for its mergeable
+ * per-shard reports: meta() records string-valued header fields (grid
+ * name, shard spec, exact 64-bit seeds as strings -- doubles cannot
+ * hold them), and the row-tagged cell() overload stamps each cell
+ * with its full-grid index and scenario seed so a merge tool can
+ * validate and reassemble shards bit-identically (see
+ * runtime/fabric/shard.hh).
+ *
  * Lives in sim so every layer above (bench front-ends, workload
  * harnesses) can use it; cells are plain (name, metrics) pairs --
  * runtime::ScenarioResult::metrics is exactly the accepted shape.
@@ -19,6 +27,7 @@
 #ifndef PKTCHASE_SIM_BENCH_REPORT_HH
 #define PKTCHASE_SIM_BENCH_REPORT_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,8 +53,24 @@ class BenchReport
     /** Set a top-level scalar (insertion-ordered; last write wins). */
     void scalar(const std::string &key, double value);
 
+    /**
+     * Set a top-level string field (insertion-ordered; last write
+     * wins). Emitted before the numeric scalars. Use for identity
+     * metadata a double cannot carry exactly: grid names, shard
+     * specs, 64-bit seeds.
+     */
+    void meta(const std::string &key, const std::string &value);
+
     /** Append one cell. @p metrics is copied. */
     void cell(const std::string &name, const Metrics &metrics);
+
+    /**
+     * Append one row-tagged cell: a cell that also records its
+     * full-grid @p index and per-cell @p seed (emitted as a hex
+     * string), the two fields the shard-merge protocol validates.
+     */
+    void cell(std::size_t index, std::uint64_t seed,
+              const std::string &name, const Metrics &metrics);
 
     /**
      * Write the artifact. @p path overrides the default
@@ -58,9 +83,19 @@ class BenchReport
     const std::string &name() const { return name_; }
 
   private:
+    struct Cell
+    {
+        std::string name;
+        Metrics metrics;
+        bool hasRow = false;     ///< index/seed tagged?
+        std::size_t index = 0;   ///< Full-grid index (row cells).
+        std::uint64_t seed = 0;  ///< Scenario seed (row cells).
+    };
+
     std::string name_;
+    std::vector<std::pair<std::string, std::string>> metas_;
     Metrics scalars_;
-    std::vector<std::pair<std::string, Metrics>> cells_;
+    std::vector<Cell> cells_;
 };
 
 } // namespace pktchase::sim

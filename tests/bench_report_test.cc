@@ -1,16 +1,15 @@
 /**
  * @file
  * Tests for sim::BenchReport emission and the bench_util.hh helpers:
- * the BENCH_*.json artifact must round-trip through a JSON parser,
- * the hexfloat map must reproduce every decimal metric bit-exactly,
- * and two writes of the same report must be byte-identical (the
- * property performance-tracking tooling diffs on).
+ * the BENCH_*.json artifact must round-trip through the sim/json.hh
+ * parser (the same one the shard-merge tool trusts), the hexfloat map
+ * must reproduce every decimal metric bit-exactly, and two writes of
+ * the same report must be byte-identical (the property
+ * performance-tracking tooling diffs on).
  */
 
 #include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,168 +18,13 @@
 
 #include "bench_util.hh"
 #include "sim/bench_report.hh"
+#include "sim/json.hh"
 
 namespace
 {
 
 using namespace pktchase;
-
-/**
- * A deliberately minimal JSON reader -- just enough of the grammar to
- * consume BenchReport's output (objects, arrays, strings with the
- * two escapes the writer emits, and numbers via strtod, which accepts
- * the hexfloat spellings in the "hex" map when unquoted... the hex
- * values are strings, so they arrive verbatim for the test to
- * re-parse). Any syntax surprise fails the test via ADD_FAILURE.
- */
-struct JsonValue
-{
-    enum Kind { Null, Number, String, Array, Object } kind = Null;
-    double num = 0.0;
-    std::string str;
-    std::vector<JsonValue> arr;
-    std::vector<std::pair<std::string, JsonValue>> obj;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &kv : obj)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        EXPECT_EQ(pos_, text_.size()) << "trailing junk after JSON";
-        EXPECT_FALSE(failed_);
-        return v;
-    }
-
-    bool failed() const { return failed_; }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                text_[pos_] == '\t' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size()) {
-            fail("unexpected end of input");
-            return '\0';
-        }
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        else
-            ++pos_;
-    }
-
-    void
-    fail(const std::string &why)
-    {
-        if (!failed_)
-            ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": "
-                          << why;
-        failed_ = true;
-    }
-
-    std::string
-    string()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\' && pos_ < text_.size())
-                c = text_[pos_++];
-            out.push_back(c);
-        }
-        expect('"');
-        return out;
-    }
-
-    JsonValue
-    value()
-    {
-        const char c = peek();
-        JsonValue v;
-        if (failed_)
-            return v;
-        if (c == '{') {
-            ++pos_;
-            v.kind = JsonValue::Object;
-            if (peek() == '}') {
-                ++pos_;
-                return v;
-            }
-            while (!failed_) {
-                std::string key = string();
-                expect(':');
-                v.obj.emplace_back(std::move(key), value());
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                break;
-            }
-            expect('}');
-        } else if (c == '[') {
-            ++pos_;
-            v.kind = JsonValue::Array;
-            if (peek() == ']') {
-                ++pos_;
-                return v;
-            }
-            while (!failed_) {
-                v.arr.push_back(value());
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                break;
-            }
-            expect(']');
-        } else if (c == '"') {
-            v.kind = JsonValue::String;
-            v.str = string();
-        } else {
-            v.kind = JsonValue::Number;
-            char *end = nullptr;
-            v.num = std::strtod(text_.c_str() + pos_, &end);
-            if (end == text_.c_str() + pos_)
-                fail("expected a number");
-            pos_ = static_cast<std::size_t>(end - text_.c_str());
-        }
-        return v;
-    }
-
-    std::string text_;
-    std::size_t pos_ = 0;
-    bool failed_ = false;
-};
+using sim::JsonValue;
 
 std::string
 slurp(const std::string &path)
@@ -190,6 +34,17 @@ slurp(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+/** Parse @p path with the shared parser; any error fails the test. */
+JsonValue
+parseFile(const std::string &path)
+{
+    JsonValue root;
+    std::string err;
+    EXPECT_TRUE(sim::parseJsonFile(path, root, err)) << err;
+    EXPECT_EQ(root.kind, JsonValue::Object);
+    return root;
 }
 
 /** A report with awkward values: negatives, tiny, huge, non-dyadic. */
@@ -216,10 +71,7 @@ TEST(BenchReport, RoundTripsThroughJsonParser)
         testing::TempDir() + "/bench_report_roundtrip.json";
     ASSERT_TRUE(sampleReport().write(path));
 
-    JsonParser parser(slurp(path));
-    const JsonValue root = parser.parse();
-    ASSERT_FALSE(parser.failed());
-    ASSERT_EQ(root.kind, JsonValue::Object);
+    const JsonValue root = parseFile(path);
 
     const JsonValue *bench = root.find("bench");
     ASSERT_NE(bench, nullptr);
@@ -247,15 +99,52 @@ TEST(BenchReport, RoundTripsThroughJsonParser)
     std::remove(path.c_str());
 }
 
+TEST(BenchReport, MetaStringsEmitAndLastWriteWins)
+{
+    sim::BenchReport report("metas");
+    report.meta("grid", "fig-with \"quotes\"");
+    report.meta("campaign_seed", "41");
+    report.meta("campaign_seed", "42"); // last write wins
+    const std::string path = testing::TempDir() + "/bench_meta.json";
+    ASSERT_TRUE(report.write(path));
+
+    const JsonValue root = parseFile(path);
+    ASSERT_NE(root.find("grid"), nullptr);
+    EXPECT_EQ(root.find("grid")->str, "fig-with \"quotes\"");
+    ASSERT_NE(root.find("campaign_seed"), nullptr);
+    EXPECT_EQ(root.find("campaign_seed")->str, "42");
+    std::remove(path.c_str());
+}
+
+TEST(BenchReport, RowTaggedCellsCarryIndexAndSeed)
+{
+    sim::BenchReport report("rows");
+    sim::BenchReport::Metrics m;
+    m.emplace_back("v", 0.5);
+    report.cell(12, 0xDEADBEEFCAFEF00Dull, "rows/one", m);
+    const std::string path = testing::TempDir() + "/bench_rows.json";
+    ASSERT_TRUE(report.write(path));
+
+    const JsonValue root = parseFile(path);
+    const JsonValue *cells = root.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->arr.size(), 1u);
+    const JsonValue &cell = cells->arr[0];
+    ASSERT_NE(cell.find("index"), nullptr);
+    EXPECT_EQ(cell.find("index")->num, 12.0);
+    ASSERT_NE(cell.find("seed"), nullptr);
+    EXPECT_EQ(cell.find("seed")->str, "0xdeadbeefcafef00d");
+    EXPECT_EQ(cell.find("name")->str, "rows/one");
+    std::remove(path.c_str());
+}
+
 TEST(BenchReport, HexMapReproducesDecimalMetricsBitExactly)
 {
     const std::string path =
         testing::TempDir() + "/bench_report_hex.json";
     ASSERT_TRUE(sampleReport().write(path));
 
-    JsonParser parser(slurp(path));
-    const JsonValue root = parser.parse();
-    ASSERT_FALSE(parser.failed());
+    const JsonValue root = parseFile(path);
     const JsonValue *cells = root.find("cells");
     ASSERT_NE(cells, nullptr);
     for (const JsonValue &cell : cells->arr) {
@@ -301,12 +190,26 @@ TEST(BenchReport, ScalarLastWriteWins)
     const std::string path =
         testing::TempDir() + "/bench_report_scalar.json";
     ASSERT_TRUE(report.write(path));
-    JsonParser parser(slurp(path));
-    const JsonValue root = parser.parse();
+    const JsonValue root = parseFile(path);
     const JsonValue *x = root.find("x");
     ASSERT_NE(x, nullptr);
     EXPECT_DOUBLE_EQ(x->num, 2.0);
     std::remove(path.c_str());
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(sim::parseJson("", v, err));
+    EXPECT_FALSE(sim::parseJson("{\"a\": }", v, err));
+    EXPECT_FALSE(sim::parseJson("{\"a\": 1} trailing", v, err));
+    EXPECT_FALSE(sim::parseJson("[1, 2", v, err));
+    EXPECT_FALSE(err.empty());
+    std::string noent_err;
+    EXPECT_FALSE(sim::parseJsonFile(
+        testing::TempDir() + "/json_no_such_file.json", v, noent_err));
+    EXPECT_FALSE(noent_err.empty());
 }
 
 TEST(BenchUtil, PercentileRowEmptySampleYieldsZeros)

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the MPMC ring behind the work-stealing fabric:
+ * capacity rounding, full/empty edges, wraparound over many laps,
+ * single-consumer drain order (FIFO per producer), and the approximate
+ * size hint. The multi-threaded no-loss/no-duplication property runs
+ * in tests/fabric_steal_stress_test.cc under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/fabric/mpmc_ring.hh"
+
+using namespace pktchase;
+using pktchase::runtime::MpmcRing;
+
+namespace
+{
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(MpmcRing<int>(1).capacity(), 2u);
+    EXPECT_EQ(MpmcRing<int>(2).capacity(), 2u);
+    EXPECT_EQ(MpmcRing<int>(3).capacity(), 4u);
+    EXPECT_EQ(MpmcRing<int>(64).capacity(), 64u);
+    EXPECT_EQ(MpmcRing<int>(65).capacity(), 128u);
+}
+
+TEST(MpmcRingDeathTest, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT(MpmcRing<int>(0), testing::ExitedWithCode(1),
+                "nonzero capacity");
+}
+
+TEST(MpmcRing, EmptyPopFails)
+{
+    MpmcRing<int> ring(4);
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_EQ(out, -1);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.approxSize(), 0u);
+}
+
+TEST(MpmcRing, FullPushFailsAndLeavesItemsIntact)
+{
+    MpmcRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.tryPush(int(i)));
+    EXPECT_EQ(ring.approxSize(), 4u);
+    EXPECT_FALSE(ring.tryPush(99));
+
+    // The rejected push must not have disturbed the queue.
+    for (int i = 0; i < 4; ++i) {
+        int out = -1;
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    int out = -1;
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(MpmcRing, SingleConsumerDrainIsFifo)
+{
+    MpmcRing<std::uint64_t> ring(8);
+    std::uint64_t next_in = 0;
+    std::uint64_t next_out = 0;
+    // Interleave pushes and pops so the cursors lap the ring many
+    // times with a partially full queue.
+    for (int round = 0; round < 1000; ++round) {
+        for (int k = 0; k < 3; ++k)
+            ASSERT_TRUE(ring.tryPush(std::uint64_t(next_in++)));
+        for (int k = 0; k < 3; ++k) {
+            std::uint64_t out = ~0ull;
+            ASSERT_TRUE(ring.tryPop(out));
+            EXPECT_EQ(out, next_out++);
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(next_out, 3000u);
+}
+
+TEST(MpmcRing, WraparoundRefillsEverySlot)
+{
+    // Fill/drain cycles crossing the capacity boundary: every slot's
+    // sequence must re-arm correctly lap after lap.
+    MpmcRing<int> ring(4);
+    for (int lap = 0; lap < 64; ++lap) {
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(ring.tryPush(lap * 4 + i));
+        EXPECT_FALSE(ring.tryPush(-1)) << "lap " << lap;
+        for (int i = 0; i < 4; ++i) {
+            int out = -1;
+            ASSERT_TRUE(ring.tryPop(out));
+            EXPECT_EQ(out, lap * 4 + i);
+        }
+        int out = -1;
+        EXPECT_FALSE(ring.tryPop(out)) << "lap " << lap;
+    }
+}
+
+TEST(MpmcRing, MovableValuesMoveThrough)
+{
+    MpmcRing<std::string> ring(2);
+    std::string in = "payload-that-exceeds-sso-small-string-optimization";
+    const char *data = in.data();
+    ASSERT_TRUE(ring.tryPush(std::move(in)));
+    std::string out;
+    ASSERT_TRUE(ring.tryPop(out));
+    // The heap buffer must have moved, not copied, through the slot.
+    EXPECT_EQ(out.data(), data);
+}
+
+TEST(MpmcRing, ApproxSizeTracksDepth)
+{
+    MpmcRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ring.tryPush(int(i)));
+    EXPECT_EQ(ring.approxSize(), 5u);
+    int out;
+    ASSERT_TRUE(ring.tryPop(out));
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(ring.approxSize(), 3u);
+    EXPECT_FALSE(ring.empty());
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and fail on throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold=0.15]
+                     [--keys=SUFFIX[,SUFFIX...]]
+
+Compares every throughput metric (by default: any key ending in
+``_per_sec``, which covers sim_events_per_sec, frames_per_sec and
+probe_rounds_per_sec) at the report top level and inside each cell,
+cells matched by name. Exits 1 if any matched metric in CURRENT is
+more than ``threshold`` below its BASELINE value, or if a baseline
+cell disappeared. Improvements and new cells are reported but never
+fail the run.
+
+CI runs this against the snapshots in bench/baselines/, which were
+recorded on a deliberately slow reference box -- a regression there
+means the simulator hot path, not the machine, got slower.
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughput_keys(metrics, suffixes):
+    return [k for k in metrics if any(k.endswith(s) for s in suffixes)]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if not isinstance(report, dict):
+        sys.exit(f"bench_compare: {path}: not a JSON object")
+    return report
+
+
+def scalar_metrics(report):
+    """Top-level numeric scalars (the writer keeps cells in a list)."""
+    return {
+        k: v for k, v in report.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def cell_metrics(report):
+    cells = {}
+    for cell in report.get("cells", []):
+        if isinstance(cell, dict) and "name" in cell:
+            cells[cell["name"]] = cell.get("metrics", {})
+    return cells
+
+
+def compare(context, base, cur, suffixes, threshold, failures, lines):
+    for key in throughput_keys(base, suffixes):
+        if key not in cur:
+            failures.append(f"{context}: {key} missing from current")
+            continue
+        old, new = float(base[key]), float(cur[key])
+        if old <= 0.0:
+            continue
+        delta = (new - old) / old
+        mark = "ok"
+        if delta < -threshold:
+            mark = "REGRESSED"
+            failures.append(
+                f"{context}: {key} {old:.6g} -> {new:.6g} "
+                f"({delta:+.1%}, limit -{threshold:.0%})")
+        lines.append(
+            f"  {mark:9s} {context}: {key} "
+            f"{old:.6g} -> {new:.6g} ({delta:+.1%})")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed fractional drop before failing (default 0.15)")
+    parser.add_argument(
+        "--keys", default="_per_sec",
+        help="comma-separated metric-key suffixes to compare "
+             "(default: _per_sec)")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+    suffixes = [s for s in args.keys.split(",") if s]
+    if not suffixes:
+        parser.error("--keys must name at least one suffix")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base.get("bench") != cur.get("bench"):
+        sys.exit(
+            f"bench_compare: comparing different benches: "
+            f"{base.get('bench')!r} vs {cur.get('bench')!r}")
+
+    failures = []
+    lines = []
+    compare("<scalars>", scalar_metrics(base), scalar_metrics(cur),
+            suffixes, args.threshold, failures, lines)
+
+    base_cells = cell_metrics(base)
+    cur_cells = cell_metrics(cur)
+    for name, metrics in base_cells.items():
+        if name not in cur_cells:
+            failures.append(f"cell {name!r} missing from current")
+            continue
+        compare(name, metrics, cur_cells[name], suffixes,
+                args.threshold, failures, lines)
+    for name in cur_cells:
+        if name not in base_cells:
+            lines.append(f"  new       {name} (not in baseline)")
+
+    print(f"bench_compare: {args.baseline} -> {args.current} "
+          f"(bench {base.get('bench')!r}, "
+          f"threshold -{args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
