@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -95,9 +96,9 @@ speedCells()
     return cells;
 }
 
-/** Run one cell and return its rate metrics. */
+/** Run one cell once and return its rate metrics. */
 sim::BenchReport::Metrics
-runCell(const SpeedCell &cell)
+runCellOnce(const SpeedCell &cell)
 {
     testbed::TestbedConfig cfg = testbed::TestbedConfig::reduced();
     cfg.ringDefense = cell.ring;
@@ -158,11 +159,63 @@ metricOf(const sim::BenchReport::Metrics &m, const std::string &key)
     fatal("bench_speed: no metric '" + key + "'");
 }
 
+/**
+ * Run one cell @p reps times and keep the fastest repetition. The
+ * simulated work is deterministic, so every rep must report identical
+ * counter totals -- only the wall clock (and thus the rates) varies
+ * with host noise; best-of-N is the standard way to estimate the
+ * noise floor of a deterministic workload. A counter mismatch between
+ * reps means the simulator is *not* deterministic and is fatal.
+ */
+sim::BenchReport::Metrics
+runCell(const SpeedCell &cell, unsigned reps)
+{
+    sim::BenchReport::Metrics best = runCellOnce(cell);
+    for (unsigned r = 1; r < reps; ++r) {
+        const sim::BenchReport::Metrics m = runCellOnce(cell);
+        for (const char *key :
+             {"sim_events", "frames_delivered", "probe_rounds",
+              "llc_accesses"}) {
+            if (metricOf(m, key) != metricOf(best, key)) {
+                fatal("bench_speed: " + cell.name() + " rep " +
+                      std::to_string(r) + " changed deterministic "
+                      "counter '" + key + "'");
+            }
+        }
+        if (metricOf(m, "wall_ms") < metricOf(best, "wall_ms"))
+            best = m;
+    }
+    return best;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // bench_speed [--reps=N] [cell-name-substring]
+    //
+    // The benign cells finish in single-digit milliseconds since the
+    // hot paths were batched, so one-shot rates see double-digit host
+    // noise; the default 5 repetitions keep the gate meaningful. A
+    // filter restricts the sweep (profiling one cell) and suppresses
+    // the JSON so a partial run can never masquerade as a baseline.
+    unsigned reps = 5;
+    std::string filter;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--reps=", 0) == 0) {
+            const int n = std::atoi(arg.c_str() + 7);
+            if (n < 1)
+                fatal("bench_speed: --reps must be >= 1");
+            reps = static_cast<unsigned>(n);
+        } else if (!arg.empty() && arg[0] != '-' && filter.empty()) {
+            filter = arg;
+        } else {
+            fatal("bench_speed: unknown argument '" + arg + "'");
+        }
+    }
+
     bench::banner("Speed",
                   "Simulator hot-path throughput per host second "
                   "(the tracked optimization baseline, not a paper "
@@ -176,21 +229,33 @@ main()
     std::printf("  %-58s %8s %10s %9s %9s\n", "cell", "wall ms",
                 "Mevent/s", "kframe/s", "kround/s");
     bench::rule(100);
+    std::size_t ran = 0;
     for (const SpeedCell &cell : speedCells()) {
-        const sim::BenchReport::Metrics m = runCell(cell);
+        if (!filter.empty()
+            && cell.name().find(filter) == std::string::npos)
+            continue;
+        const sim::BenchReport::Metrics m = runCell(cell, reps);
         std::printf("  %-58s %8.1f %10.2f %9.1f %9.1f\n",
                     cell.name().c_str(), metricOf(m, "wall_ms"),
                     metricOf(m, "sim_events_per_sec") / 1e6,
                     metricOf(m, "frames_per_sec") / 1e3,
                     metricOf(m, "probe_rounds_per_sec") / 1e3);
         report.cell(cell.name(), m);
+        ++ran;
     }
     bench::rule(100);
 
     const double elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();
-    std::printf("  12 cells in %.2f s host time\n", elapsed);
+    std::printf("  %zu cells x %u reps (best-of) in %.2f s host time\n",
+                ran, reps, elapsed);
+    if (ran == 0)
+        fatal("bench_speed: filter '" + filter + "' matched no cell");
 
+    if (!filter.empty()) {
+        std::printf("  filtered run: BENCH_speed.json not written\n");
+        return 0;
+    }
     report.scalar("elapsed_sec", elapsed);
     if (!report.write())
         return 1;

@@ -42,9 +42,9 @@ FootprintScanner::scan(EventQueue &eq, Cycles horizon)
     // Self-rescheduling probe event; the shared queue interleaves any
     // traffic pumps with the probe rounds.
     std::function<void()> round = [&] {
-        ProbeSample s = monitor_.probeAll(eq.now());
+        const ProbeSample &s = monitor_.probeAll(eq.now());
         const Cycles cost = s.end - s.start;
-        samples.push_back(std::move(s));
+        samples.push_back(s);
         const Cycles next = eq.now() + std::max(interval, cost);
         if (next <= horizon)
             eq.schedule(next, round);

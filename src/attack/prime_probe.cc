@@ -14,18 +14,34 @@ PrimeProbeMonitor::PrimeProbeMonitor(cache::Hierarchy &hier,
 {
     if (sets_.empty())
         panic("PrimeProbeMonitor needs at least one eviction set");
+    rebuildLines();
+}
+
+void
+PrimeProbeMonitor::rebuildLines()
+{
+    lines_.clear();
+    setStart_.clear();
+    setStart_.reserve(sets_.size() + 1);
+    std::size_t total = 0;
+    for (const EvictionSet &es : sets_)
+        total += es.addrs.size();
+    lines_.reserve(total);
+    for (const EvictionSet &es : sets_) {
+        setStart_.push_back(lines_.size());
+        lines_.insert(lines_.end(), es.addrs.begin(), es.addrs.end());
+    }
+    setStart_.push_back(lines_.size());
+    sample_.active.resize(sets_.size());
 }
 
 Cycles
 PrimeProbeMonitor::primeAll(Cycles now)
 {
     Cycles t = now;
-    for (const EvictionSet &es : sets_) {
-        for (Addr a : es.addrs) {
-            t += hier_.timedRead(a, t);
-            ++timedLoads_;
-        }
-    }
+    for (Addr a : lines_)
+        t += hier_.timedRead(a, t);
+    timedLoads_ += lines_.size();
     return t - now;
 }
 
@@ -37,37 +53,45 @@ PrimeProbeMonitor::probeOne(std::size_t index, Cycles now,
         panic("PrimeProbeMonitor::probeOne out of range");
     Cycles t = now;
     unsigned misses = 0;
-    for (Addr a : sets_[index].addrs) {
-        const Cycles lat = hier_.timedRead(a, t);
+    const std::size_t end = setStart_[index + 1];
+    for (std::size_t k = setStart_[index]; k < end; ++k) {
+        const Cycles lat = hier_.timedRead(lines_[k], t);
         t += lat;
-        ++timedLoads_;
         if (lat > missThreshold_)
             ++misses;
     }
+    timedLoads_ += end - setStart_[index];
     elapsed = t - now;
     return misses;
 }
 
-ProbeSample
+const ProbeSample &
 PrimeProbeMonitor::probeAll(Cycles now)
 {
     // One prime+probe round = one LLC walk over the monitor list; this
     // is the attacker pipeline's innermost hot path, so it carries
-    // both the probe-round counter and the llc.walk trace span.
+    // both the probe-round counter and the llc.walk trace span. The
+    // walk streams the flat line array directly -- per-set boundaries
+    // only mark where the active flag latches.
     const obs::ScopedSpan span("llc.walk", "cache");
     obs::bump(obs::Stat::ProbeRounds);
-    ProbeSample s;
-    s.start = now;
-    s.active.resize(sets_.size(), 0);
+    sample_.start = now;
     Cycles t = now;
-    for (std::size_t i = 0; i < sets_.size(); ++i) {
-        Cycles elapsed = 0;
-        const unsigned misses = probeOne(i, t, elapsed);
-        t += elapsed;
-        s.active[i] = misses > 0 ? 1 : 0;
+    const std::size_t n = sets_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        unsigned misses = 0;
+        const std::size_t end = setStart_[i + 1];
+        for (std::size_t k = setStart_[i]; k < end; ++k) {
+            const Cycles lat = hier_.timedRead(lines_[k], t);
+            t += lat;
+            if (lat > missThreshold_)
+                ++misses;
+        }
+        sample_.active[i] = misses > 0 ? 1 : 0;
     }
-    s.end = t;
-    return s;
+    timedLoads_ += lines_.size();
+    sample_.end = t;
+    return sample_;
 }
 
 void
@@ -76,6 +100,7 @@ PrimeProbeMonitor::replaceSet(std::size_t index, EvictionSet set)
     if (index >= sets_.size())
         panic("PrimeProbeMonitor::replaceSet out of range");
     sets_[index] = std::move(set);
+    rebuildLines();
 }
 
 } // namespace pktchase::attack

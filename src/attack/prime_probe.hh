@@ -55,8 +55,13 @@ class PrimeProbeMonitor
 
     /**
      * One probe round over every monitored set starting at @p now.
+     *
+     * @return A reference to the monitor's internal sample, overwritten
+     *         by the next probeAll round -- copy it to retain. Borrowed
+     *         references handed out synchronously (observer callbacks)
+     *         are safe; storing across rounds is not.
      */
-    ProbeSample probeAll(Cycles now);
+    const ProbeSample &probeAll(Cycles now);
 
     /**
      * Probe a single monitored set.
@@ -77,10 +82,25 @@ class PrimeProbeMonitor
     std::uint64_t timedLoads() const { return timedLoads_; }
 
   private:
+    /** Rebuild the flat line array from sets_. */
+    void rebuildLines();
+
     cache::Hierarchy &hier_;
     std::vector<EvictionSet> sets_;
     Cycles missThreshold_;
     std::uint64_t timedLoads_ = 0;
+
+    // Structure-of-arrays mirror of sets_: every monitored line,
+    // concatenated in set order, with CSR-style per-set offsets. The
+    // walk loops (primeAll/probeAll/probeOne) iterate these flat
+    // arrays -- one contiguous stream of addresses instead of a
+    // pointer chase through per-set vectors -- in exactly the order
+    // the per-set walk used, so timestamps and RNG draws are
+    // unchanged. sets_ stays the source of truth for set() and
+    // replaceSet(), which rebuilds the mirror (rare: fallback path).
+    std::vector<Addr> lines_;
+    std::vector<std::size_t> setStart_; ///< size() + 1 offsets.
+    ProbeSample sample_; ///< Reused by probeAll across rounds.
 };
 
 } // namespace pktchase::attack

@@ -143,7 +143,7 @@ ProbeEngine::scheduleChase(EventQueue &eq, Stream &st, std::size_t id,
     // once the first monitored row has fired.
     st.step = [this, &eq, &st, id, horizon] {
         const obs::ScopedSpan span("probe.chase-round", "attack");
-        ProbeSample s = st.monitors[st.cursor].probeAll(eq.now());
+        const ProbeSample &s = st.monitors[st.cursor].probeAll(eq.now());
         ++st.stats.probes;
         for (std::size_t i = 0; i < st.accum.size(); ++i)
             st.accum[i] |= s.active[i];
@@ -195,7 +195,7 @@ ProbeEngine::scheduleSample(EventQueue &eq, Stream &st, std::size_t id,
         const obs::ScopedSpan span("probe.sample-round", "attack");
         Cycles t = eq.now();
         for (std::size_t b = 0; b < st.monitors.size(); ++b) {
-            ProbeSample s = st.monitors[b].probeAll(t);
+            const ProbeSample &s = st.monitors[b].probeAll(t);
             t = s.end;
             ProbeObservation obs;
             obs.kind = ProbeKind::Sample;

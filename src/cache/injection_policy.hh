@@ -63,8 +63,21 @@ class InjectionPolicy
     /** Max I/O lines currently allowed in global set @p gset. */
     virtual unsigned ioCap(std::size_t gset) const = 0;
 
+    /**
+     * Whether ioCap is the same for every set (and constant after
+     * init). The Llc caches a uniform cap once instead of making a
+     * virtual call per fill.
+     */
+    virtual bool ioCapUniform() const { return true; }
+
     /** Per-access bookkeeping hook, before the tag lookup. */
     virtual void onAccess(Llc &, std::size_t, Cycles) {}
+
+    /**
+     * Whether onAccess is overridden to do real work. The Llc skips
+     * the per-access virtual dispatch entirely when this is false.
+     */
+    virtual bool wantsOnAccess() const { return false; }
 };
 
 /**
@@ -132,7 +145,9 @@ class AdaptivePartitionPolicy : public InjectionPolicy
     bool partitioned() const override { return true; }
     void init(Llc &llc) override;
     unsigned ioCap(std::size_t gset) const override;
+    bool ioCapUniform() const override { return false; }
     void onAccess(Llc &llc, std::size_t gset, Cycles now) override;
+    bool wantsOnAccess() const override { return true; }
 
   private:
     /** Adaptive bookkeeping, one per set. */

@@ -24,31 +24,30 @@ Llc::Llc(const LlcConfig &cfg, std::unique_ptr<SliceHash> hash,
         fatal("Llc: ddioWays out of range");
 
     const std::size_t sets = cfg_.geom.totalSets();
-    lines_.assign(sets * cfg_.geom.ways, Line{});
+    tags_.assign(sets * cfg_.geom.ways, 0);
+    meta_.assign(sets * cfg_.geom.ways, 0);
     repl_ = makeReplacement(cfg_.replacement, sets, cfg_.geom.ways,
                             Rng(cfg_.seed));
     policy_->init(*this);
     partitioned_ = policy_->partitioned();
-}
+    wantsOnAccess_ = policy_->wantsOnAccess();
+    ioCapUniform_ = policy_->ioCapUniform();
+    if (ioCapUniform_)
+        uniformIoCap_ = policy_->ioCap(0);
 
-Llc::Line &
-Llc::line(std::size_t gset, unsigned way)
-{
-    return lines_[gset * cfg_.geom.ways + way];
-}
-
-const Llc::Line &
-Llc::line(std::size_t gset, unsigned way) const
-{
-    return lines_[gset * cfg_.geom.ways + way];
+    // Concrete-type fast paths for the default configuration.
+    xorHash_ = dynamic_cast<const XorFoldSliceHash *>(hash_.get());
+    lru_ = dynamic_cast<LruPolicy *>(repl_.get());
 }
 
 int
 Llc::findWay(std::size_t gset, Addr block) const
 {
+    const std::size_t base = gset * cfg_.geom.ways;
+    const Addr *tags = &tags_[base];
+    const std::uint8_t *meta = &meta_[base];
     for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
-        const Line &l = line(gset, w);
-        if (l.valid && l.block == block)
+        if ((meta[w] & kValid) && tags[w] == block)
             return static_cast<int>(w);
     }
     return -1;
@@ -57,8 +56,9 @@ Llc::findWay(std::size_t gset, Addr block) const
 int
 Llc::findInvalid(std::size_t gset) const
 {
+    const std::uint8_t *meta = &meta_[gset * cfg_.geom.ways];
     for (unsigned w = 0; w < cfg_.geom.ways; ++w)
-        if (!line(gset, w).valid)
+        if (!(meta[w] & kValid))
             return static_cast<int>(w);
     return -1;
 }
@@ -66,10 +66,11 @@ Llc::findInvalid(std::size_t gset) const
 WayMask
 Llc::kindMask(std::size_t gset, bool want_io) const
 {
+    const std::uint8_t *meta = &meta_[gset * cfg_.geom.ways];
+    const std::uint8_t want = want_io ? kIo : 0;
     WayMask mask = 0;
     for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
-        const Line &l = line(gset, w);
-        if (l.valid && l.isIo == want_io)
+        if ((meta[w] & kValid) && (meta[w] & kIo) == want)
             mask |= WayMask(1) << w;
     }
     return mask;
@@ -78,9 +79,10 @@ Llc::kindMask(std::size_t gset, bool want_io) const
 unsigned
 Llc::validCount(std::size_t gset) const
 {
+    const std::uint8_t *meta = &meta_[gset * cfg_.geom.ways];
     unsigned n = 0;
     for (unsigned w = 0; w < cfg_.geom.ways; ++w)
-        if (line(gset, w).valid)
+        if (meta[w] & kValid)
             ++n;
     return n;
 }
@@ -88,12 +90,11 @@ Llc::validCount(std::size_t gset) const
 unsigned
 Llc::ioCount(std::size_t gset) const
 {
+    const std::uint8_t *meta = &meta_[gset * cfg_.geom.ways];
     unsigned n = 0;
-    for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
-        const Line &l = line(gset, w);
-        if (l.valid && l.isIo)
+    for (unsigned w = 0; w < cfg_.geom.ways; ++w)
+        if ((meta[w] & kValid) && (meta[w] & kIo))
             ++n;
-    }
     return n;
 }
 
@@ -106,12 +107,12 @@ Llc::ioPartitionSize(std::size_t gset) const
 void
 Llc::evict(std::size_t gset, unsigned way, bool filler_is_io)
 {
-    Line &l = line(gset, way);
-    if (!l.valid)
+    std::uint8_t &m = meta_[lineIndex(gset, way)];
+    if (!(m & kValid))
         panic("Llc::evict of invalid way");
-    if (l.dirty)
+    if (m & kDirty)
         ++stats_.writebacks;
-    if (l.isIo) {
+    if (m & kIo) {
         if (filler_is_io)
             ++stats_.ioEvictedByIo;
         else
@@ -122,9 +123,8 @@ Llc::evict(std::size_t gset, unsigned way, bool filler_is_io)
         else
             ++stats_.cpuEvictedByCpu;
     }
-    l.valid = false;
-    l.dirty = false;
-    repl_->reset(gset, way);
+    m &= static_cast<std::uint8_t>(~(kValid | kDirty));
+    replReset(gset, way);
 }
 
 void
@@ -133,13 +133,12 @@ Llc::partitionDrop(std::size_t gset, bool io_side)
     const WayMask mask = kindMask(gset, io_side);
     if (mask == 0)
         panic("Llc::partitionDrop: no line of the requested kind");
-    const unsigned w = repl_->victim(gset, mask);
-    Line &l = line(gset, w);
-    if (l.dirty)
+    const unsigned w = replVictim(gset, mask);
+    std::uint8_t &m = meta_[lineIndex(gset, w)];
+    if (m & kDirty)
         ++stats_.writebacks;
-    l.valid = false;
-    l.dirty = false;
-    repl_->reset(gset, w);
+    m &= static_cast<std::uint8_t>(~(kValid | kDirty));
+    replReset(gset, w);
     ++stats_.partitionInvalidations;
 }
 
@@ -157,7 +156,7 @@ Llc::cpuFill(std::size_t gset, Addr block, bool dirty)
             static_cast<unsigned>(popcount64(cpu_mask));
         if (cpu_count >= cpu_quota) {
             // Partition full: displace another CPU line, never I/O.
-            way = static_cast<int>(repl_->victim(gset, cpu_mask));
+            way = static_cast<int>(replVictim(gset, cpu_mask));
             evict(gset, static_cast<unsigned>(way), false);
         } else {
             way = findInvalid(gset);
@@ -173,17 +172,15 @@ Llc::cpuFill(std::size_t gset, Addr block, bool dirty)
             const WayMask all =
                 (cfg_.geom.ways >= 32) ? ~WayMask(0)
                 : ((WayMask(1) << cfg_.geom.ways) - 1);
-            way = static_cast<int>(repl_->victim(gset, all));
+            way = static_cast<int>(replVictim(gset, all));
             evict(gset, static_cast<unsigned>(way), false);
         }
     }
 
-    Line &l = line(gset, static_cast<unsigned>(way));
-    l.block = block;
-    l.valid = true;
-    l.dirty = dirty;
-    l.isIo = false;
-    repl_->touch(gset, static_cast<unsigned>(way));
+    const std::size_t idx = lineIndex(gset, static_cast<unsigned>(way));
+    tags_[idx] = block;
+    meta_[idx] = static_cast<std::uint8_t>(kValid | (dirty ? kDirty : 0));
+    replTouch(gset, static_cast<unsigned>(way));
     return static_cast<unsigned>(way);
 }
 
@@ -192,14 +189,14 @@ Llc::ioFill(std::size_t gset, Addr block)
 {
     ++stats_.ioAllocations;
     obs::bump(obs::Stat::LlcMisses);
-    const unsigned cap = policy_->ioCap(gset);
+    const unsigned cap = ioCapOf(gset);
     const WayMask io_mask = kindMask(gset, true);
     const auto io_count = static_cast<unsigned>(popcount64(io_mask));
 
     int way = -1;
     if (io_count >= cap) {
         // DDIO cap (or partition bound) reached: recycle an I/O line.
-        way = static_cast<int>(repl_->victim(gset, io_mask));
+        way = static_cast<int>(replVictim(gset, io_mask));
         evict(gset, static_cast<unsigned>(way), true);
     } else if (partitioned_) {
         // Defense: the partition guarantees a free slot for I/O.
@@ -215,17 +212,16 @@ Llc::ioFill(std::size_t gset, Addr block)
             const WayMask all =
                 (cfg_.geom.ways >= 32) ? ~WayMask(0)
                 : ((WayMask(1) << cfg_.geom.ways) - 1);
-            way = static_cast<int>(repl_->victim(gset, all));
+            way = static_cast<int>(replVictim(gset, all));
             evict(gset, static_cast<unsigned>(way), true);
         }
     }
 
-    Line &l = line(gset, static_cast<unsigned>(way));
-    l.block = block;
-    l.valid = true;
-    l.dirty = true;  // DDIO lines are written back only on eviction.
-    l.isIo = true;
-    repl_->touch(gset, static_cast<unsigned>(way));
+    const std::size_t idx = lineIndex(gset, static_cast<unsigned>(way));
+    tags_[idx] = block;
+    // DDIO lines are written back only on eviction.
+    meta_[idx] = kValid | kDirty | kIo;
+    replTouch(gset, static_cast<unsigned>(way));
 }
 
 void
@@ -248,11 +244,12 @@ Llc::cpuRead(Addr paddr, Cycles now)
     obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    policy_->onAccess(*this, gset, now);
+    if (wantsOnAccess_)
+        policy_->onAccess(*this, gset, now);
 
     const int way = findWay(gset, block);
     if (way >= 0) {
-        repl_->touch(gset, static_cast<unsigned>(way));
+        replTouch(gset, static_cast<unsigned>(way));
         if (telem_)
             telem_->cpuAccess(sliceOf(gset), true, now);
         return true;
@@ -269,22 +266,23 @@ Llc::cpuWrite(Addr paddr, Cycles now)
     obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    policy_->onAccess(*this, gset, now);
+    if (wantsOnAccess_)
+        policy_->onAccess(*this, gset, now);
 
     const int way = findWay(gset, block);
     if (way >= 0) {
-        Line &l = line(gset, static_cast<unsigned>(way));
-        if (l.isIo && partitioned_) {
+        std::uint8_t &m = meta_[lineIndex(gset,
+                                          static_cast<unsigned>(way))];
+        if ((m & kIo) && partitioned_) {
             // Defense: ownership may not silently flip -- that would
             // leave the CPU side over quota and the I/O side under-
             // counted. Move the line across the boundary properly:
             // drop the I/O copy and refill as a CPU line (with a CPU-
             // partition eviction if the quota is full).
-            if (l.dirty)
+            if (m & kDirty)
                 ++stats_.writebacks;
-            l.valid = false;
-            l.dirty = false;
-            repl_->reset(gset, static_cast<unsigned>(way));
+            m &= static_cast<std::uint8_t>(~(kValid | kDirty));
+            replReset(gset, static_cast<unsigned>(way));
             ++stats_.invalidations;
             cpuFill(gset, block, true);
             --stats_.memReads; // on-chip move, not a demand fill
@@ -292,11 +290,10 @@ Llc::cpuWrite(Addr paddr, Cycles now)
                 telem_->cpuAccess(sliceOf(gset), true, now);
             return true;
         }
-        l.dirty = true;
         // A CPU write to a DDIO line takes ownership (the driver copied
         // or consumed the packet); it is no longer an I/O line.
-        l.isIo = false;
-        repl_->touch(gset, static_cast<unsigned>(way));
+        m = static_cast<std::uint8_t>((m | kDirty) & ~kIo);
+        replTouch(gset, static_cast<unsigned>(way));
         if (telem_)
             telem_->cpuAccess(sliceOf(gset), true, now);
         return true;
@@ -313,28 +310,28 @@ Llc::ioWrite(Addr paddr, Cycles now)
     obs::bump(obs::Stat::LlcAccesses);
     const Addr block = paddr >> blockShift;
     const std::size_t gset = globalSet(paddr);
-    policy_->onAccess(*this, gset, now);
+    if (wantsOnAccess_)
+        policy_->onAccess(*this, gset, now);
 
     const std::uint64_t allocs0 = stats_.ioAllocations;
     const std::uint64_t displaced0 = stats_.cpuEvictedByIo;
 
     const int way = findWay(gset, block);
     if (way >= 0) {
-        Line &l = line(gset, static_cast<unsigned>(way));
-        if (!l.isIo && partitioned_) {
+        std::uint8_t &m = meta_[lineIndex(gset,
+                                          static_cast<unsigned>(way))];
+        if (!(m & kIo) && partitioned_) {
             // Defense: DMA may not silently convert a CPU line into an
             // I/O line (that would grow the I/O side past its bound).
             // Invalidate the stale copy and allocate in the partition.
             ++stats_.invalidations;
-            l.valid = false;
-            l.dirty = false;
-            repl_->reset(gset, static_cast<unsigned>(way));
+            m &= static_cast<std::uint8_t>(~(kValid | kDirty));
+            replReset(gset, static_cast<unsigned>(way));
             ioFill(gset, block);
         } else {
             ++stats_.ioWriteHits;
-            l.dirty = true;
-            l.isIo = true;
-            repl_->touch(gset, static_cast<unsigned>(way));
+            m |= kDirty | kIo;
+            replTouch(gset, static_cast<unsigned>(way));
         }
         if (telem_ && stats_.ioAllocations != allocs0) {
             telem_->ioInjection(sliceOf(gset),
@@ -358,12 +355,11 @@ Llc::invalidateBlock(Addr paddr)
     const int way = findWay(gset, block);
     if (way < 0)
         return;
-    Line &l = line(gset, static_cast<unsigned>(way));
     // The DMA engine just overwrote memory; the cached copy is stale,
     // so it is dropped without writeback.
-    l.valid = false;
-    l.dirty = false;
-    repl_->reset(gset, static_cast<unsigned>(way));
+    meta_[lineIndex(gset, static_cast<unsigned>(way))] &=
+        static_cast<std::uint8_t>(~(kValid | kDirty));
+    replReset(gset, static_cast<unsigned>(way));
     ++stats_.invalidations;
 }
 
@@ -378,7 +374,8 @@ Llc::containsIoLine(Addr paddr) const
 {
     const std::size_t gset = globalSet(paddr);
     const int way = findWay(gset, paddr >> blockShift);
-    return way >= 0 && line(gset, static_cast<unsigned>(way)).isIo;
+    return way >= 0 &&
+        (meta_[lineIndex(gset, static_cast<unsigned>(way))] & kIo) != 0;
 }
 
 void
@@ -386,13 +383,11 @@ Llc::flushAll()
 {
     for (std::size_t gset = 0; gset < cfg_.geom.totalSets(); ++gset) {
         for (unsigned w = 0; w < cfg_.geom.ways; ++w) {
-            Line &l = line(gset, w);
-            if (l.valid && l.dirty)
+            std::uint8_t &m = meta_[lineIndex(gset, w)];
+            if ((m & kValid) && (m & kDirty))
                 ++stats_.writebacks;
-            l.valid = false;
-            l.dirty = false;
-            l.isIo = false;
-            repl_->reset(gset, w);
+            m = 0;
+            replReset(gset, w);
         }
     }
 }

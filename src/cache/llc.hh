@@ -134,7 +134,11 @@ class Llc
     std::size_t
     globalSet(Addr paddr) const
     {
-        return static_cast<std::size_t>(hash_->slice(paddr)) *
+        // Devirtualized fast path for the standard XOR-fold hash;
+        // xorHash_ is set iff hash_ is an XorFoldSliceHash.
+        const unsigned slice = xorHash_
+            ? xorHash_->slice(paddr) : hash_->slice(paddr);
+        return static_cast<std::size_t>(slice) *
             cfg_.geom.setsPerSlice + cfg_.geom.setIndex(paddr);
     }
 
@@ -196,25 +200,68 @@ class Llc
     void notePartitionAdaptation() { ++stats_.partitionAdaptations; }
 
   private:
-    struct Line
-    {
-        Addr block = 0;    ///< Block address (paddr >> blockShift).
-        bool valid = false;
-        bool dirty = false;
-        bool isIo = false;
-    };
+    // Line state is split structure-of-arrays: a flat tag array plus
+    // one byte of flag bits per line, so the tag-match loop of findWay
+    // streams through 8-byte tags and the validity scans touch one
+    // cache line per set instead of striding over 16-byte AoS entries.
+    static constexpr std::uint8_t kValid = 1u << 0;
+    static constexpr std::uint8_t kDirty = 1u << 1;
+    static constexpr std::uint8_t kIo = 1u << 2;
 
     LlcConfig cfg_;
     std::unique_ptr<SliceHash> hash_;
+    const XorFoldSliceHash *xorHash_ = nullptr; ///< hash_ downcast, or null.
     std::unique_ptr<InjectionPolicy> policy_;
     bool partitioned_ = false;     ///< Cached policy_->partitioned().
+    bool wantsOnAccess_ = false;   ///< Cached policy_->wantsOnAccess().
+    unsigned uniformIoCap_ = 0;    ///< Cached cap when ioCapUniform().
+    bool ioCapUniform_ = true;
     std::unique_ptr<ReplacementPolicy> repl_;
-    std::vector<Line> lines_;      ///< totalSets x ways.
+    LruPolicy *lru_ = nullptr;     ///< repl_ downcast, or null.
+    std::vector<Addr> tags_;       ///< totalSets x ways block addrs.
+    std::vector<std::uint8_t> meta_; ///< totalSets x ways flag bytes.
     LlcStats stats_;
     LlcTelemetry *telem_ = nullptr; ///< Counter probe; null = off-path.
 
-    Line &line(std::size_t gset, unsigned way);
-    const Line &line(std::size_t gset, unsigned way) const;
+    std::size_t
+    lineIndex(std::size_t gset, unsigned way) const
+    {
+        return gset * cfg_.geom.ways + way;
+    }
+
+    // Devirtualized replacement-policy calls: LruPolicy is final, so
+    // these inline completely for the default policy.
+    void
+    replTouch(std::size_t gset, unsigned way)
+    {
+        if (lru_)
+            lru_->touch(gset, way);
+        else
+            repl_->touch(gset, way);
+    }
+
+    unsigned
+    replVictim(std::size_t gset, WayMask mask)
+    {
+        return lru_ ? lru_->victim(gset, mask)
+                    : repl_->victim(gset, mask);
+    }
+
+    void
+    replReset(std::size_t gset, unsigned way)
+    {
+        if (lru_)
+            lru_->reset(gset, way);
+        else
+            repl_->reset(gset, way);
+    }
+
+    /** Per-set I/O cap without the virtual call for uniform policies. */
+    unsigned
+    ioCapOf(std::size_t gset) const
+    {
+        return ioCapUniform_ ? uniformIoCap_ : policy_->ioCap(gset);
+    }
 
     /** Find the way caching @p block in @p gset, or -1. */
     int findWay(std::size_t gset, Addr block) const;

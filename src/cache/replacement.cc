@@ -9,40 +9,13 @@ namespace pktchase::cache
 
 // ---------------------------------------------------------------- LRU --
 
-LruPolicy::LruPolicy(std::size_t sets, unsigned ways)
-    : ways_(ways), stamps_(sets * ways, 0)
-{
-}
+// touch/victim/reset live in the header so the Llc's devirtualized
+// fast path can inline them.
 
 void
-LruPolicy::touch(std::size_t set, unsigned way)
+LruPolicy::panicEmptyMask()
 {
-    stamps_[set * ways_ + way] = clock_++;
-}
-
-unsigned
-LruPolicy::victim(std::size_t set, WayMask mask)
-{
-    if (mask == 0)
-        panic("LruPolicy::victim with empty candidate mask");
-    unsigned best_way = 0;
-    std::uint64_t best_stamp = ~0ull;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (!(mask & (WayMask(1) << w)))
-            continue;
-        const std::uint64_t s = stamps_[set * ways_ + w];
-        if (s < best_stamp) {
-            best_stamp = s;
-            best_way = w;
-        }
-    }
-    return best_way;
-}
-
-void
-LruPolicy::reset(std::size_t set, unsigned way)
-{
-    stamps_[set * ways_ + way] = 0;
+    panic("LruPolicy::victim with empty candidate mask");
 }
 
 // ---------------------------------------------------------- Tree-PLRU --

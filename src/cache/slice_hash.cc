@@ -13,18 +13,6 @@ XorFoldSliceHash::XorFoldSliceHash(std::vector<Addr> masks)
         fatal("XorFoldSliceHash supports 1..3 output bits");
 }
 
-unsigned
-XorFoldSliceHash::slice(Addr paddr) const
-{
-    unsigned out = 0;
-    for (std::size_t i = 0; i < masks_.size(); ++i) {
-        const unsigned bit =
-            static_cast<unsigned>(popcount64(paddr & masks_[i])) & 1u;
-        out |= bit << i;
-    }
-    return out;
-}
-
 namespace
 {
 

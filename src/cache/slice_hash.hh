@@ -41,8 +41,12 @@ class SliceHash
 /**
  * XOR-fold hash in the style of the reverse-engineered Intel functions:
  * output bit i is the parity of (paddr & mask[i]).
+ *
+ * Final, with slice() defined inline: the Llc keeps a concrete
+ * pointer to this type (the hash every standard testbed uses) so the
+ * per-access slice computation devirtualizes and inlines.
  */
-class XorFoldSliceHash : public SliceHash
+class XorFoldSliceHash final : public SliceHash
 {
   public:
     /**
@@ -52,7 +56,18 @@ class XorFoldSliceHash : public SliceHash
      */
     explicit XorFoldSliceHash(std::vector<Addr> masks);
 
-    unsigned slice(Addr paddr) const override;
+    unsigned
+    slice(Addr paddr) const override
+    {
+        unsigned out = 0;
+        for (std::size_t i = 0; i < masks_.size(); ++i) {
+            const unsigned bit =
+                static_cast<unsigned>(popcount64(paddr & masks_[i])) & 1u;
+            out |= bit << i;
+        }
+        return out;
+    }
+
     unsigned slices() const override { return 1u << masks_.size(); }
 
     /** The published-style masks for an 8-slice Sandy Bridge-EP LLC. */

@@ -50,6 +50,19 @@ class GatedPolicy : public nic::BufferPolicy
 
     std::string name() const override;
 
+    /**
+     * Deliberately the conservative all-false default: the armed bit
+     * flips mid-run (telemetry published during descriptor processing
+     * can arm the gate between two frames of a batch), so the driver
+     * must keep dispatching per frame regardless of the inner
+     * policy's own traits.
+     */
+    nic::BufferPolicy::HookTraits
+    hookTraits() const override
+    {
+        return {};
+    }
+
     void onInit(nic::RxQueue &q) override;
     void onPacket(nic::RxQueue &q, std::uint64_t n) override;
     void onRecycle(nic::RxQueue &q, std::size_t i) override;

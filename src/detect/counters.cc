@@ -13,6 +13,37 @@ namespace pktchase::detect
 LlcCounterProbe::LlcCounterProbe(sim::CounterBus &bus, unsigned groups)
     : bus_(bus), groups_(groups)
 {
+    using sim::CounterKey;
+    keys_.cpuAccesses = CounterKey::intern("cpu_accesses");
+    keys_.cpuMisses = CounterKey::intern("cpu_misses");
+    keys_.missRate = CounterKey::intern("miss_rate");
+    keys_.ddioFills = CounterKey::intern("ddio_fills");
+    keys_.ddioCpuDisplaced = CounterKey::intern("ddio_cpu_displaced");
+    keys_.ioConflicts = CounterKey::intern("io_conflicts");
+    keys_.group.reserve(groups_);
+    for (unsigned g = 0; g < groups_; ++g) {
+        const std::string prefix = "g" + std::to_string(g);
+        keys_.group.emplace_back(CounterKey::intern(prefix + ".misses"),
+                                 CounterKey::intern(prefix + ".fills"));
+    }
+
+    // Prebuild the empty-epoch sample once: zero-fill catch-up (the
+    // common roll() case in sparse phases) then only stamps the epoch
+    // bounds instead of re-emitting every key.
+    zeroSample_.source = "llc";
+    zeroSample_.set(keys_.cpuAccesses, 0.0);
+    zeroSample_.set(keys_.cpuMisses, 0.0);
+    zeroSample_.set(keys_.missRate, 0.0);
+    zeroSample_.set(keys_.ddioFills, 0.0);
+    zeroSample_.set(keys_.ddioCpuDisplaced, 0.0);
+    zeroSample_.set(keys_.ioConflicts, 0.0);
+    for (unsigned g = 0; g < groups_; ++g) {
+        zeroSample_.set(keys_.group[g].first, 0.0);
+        zeroSample_.set(keys_.group[g].second, 0.0);
+    }
+    sample_.source = "llc";
+
+    epochEnd_ = bus_.epochCycles();
     reset();
 }
 
@@ -28,35 +59,42 @@ void
 LlcCounterProbe::publishEpoch(std::uint64_t epoch)
 {
     const Cycles width = bus_.epochCycles();
-    sim::CounterSample s;
-    s.source = "llc";
-    s.epoch = epoch;
-    s.start = epoch * width;
-    s.end = s.start + width;
-    s.set("cpu_accesses", static_cast<double>(acc_.cpuAccesses));
-    s.set("cpu_misses", static_cast<double>(acc_.cpuMisses));
-    s.set("miss_rate", acc_.cpuAccesses > 0
+    if (!acc_.any) {
+        zeroSample_.epoch = epoch;
+        zeroSample_.start = epoch * width;
+        zeroSample_.end = zeroSample_.start + width;
+        bus_.publish(zeroSample_);
+        return;
+    }
+    sample_.clearValues();
+    sample_.epoch = epoch;
+    sample_.start = epoch * width;
+    sample_.end = sample_.start + width;
+    sample_.set(keys_.cpuAccesses, static_cast<double>(acc_.cpuAccesses));
+    sample_.set(keys_.cpuMisses, static_cast<double>(acc_.cpuMisses));
+    sample_.set(keys_.missRate, acc_.cpuAccesses > 0
         ? static_cast<double>(acc_.cpuMisses) /
             static_cast<double>(acc_.cpuAccesses)
         : 0.0);
-    s.set("ddio_fills", static_cast<double>(acc_.ddioFills));
-    s.set("ddio_cpu_displaced",
-          static_cast<double>(acc_.ddioCpuDisplaced));
-    s.set("io_conflicts", static_cast<double>(acc_.ioConflicts));
+    sample_.set(keys_.ddioFills, static_cast<double>(acc_.ddioFills));
+    sample_.set(keys_.ddioCpuDisplaced,
+                static_cast<double>(acc_.ddioCpuDisplaced));
+    sample_.set(keys_.ioConflicts,
+                static_cast<double>(acc_.ioConflicts));
     for (unsigned g = 0; g < groups_; ++g) {
-        const std::string prefix = "g" + std::to_string(g);
-        s.set(prefix + ".misses",
-              static_cast<double>(acc_.groupMisses[g]));
-        s.set(prefix + ".fills",
-              static_cast<double>(acc_.groupFills[g]));
+        sample_.set(keys_.group[g].first,
+                    static_cast<double>(acc_.groupMisses[g]));
+        sample_.set(keys_.group[g].second,
+                    static_cast<double>(acc_.groupFills[g]));
     }
-    bus_.publish(s);
+    bus_.publish(sample_);
 }
 
 void
-LlcCounterProbe::roll(Cycles now)
+LlcCounterProbe::rollSlow(Cycles now)
 {
-    const std::uint64_t target = now / bus_.epochCycles();
+    const Cycles width = bus_.epochCycles();
+    const std::uint64_t target = now / width;
     if (target <= epoch_)
         return;
     if (target - epoch_ > kMaxCatchUp) {
@@ -73,6 +111,7 @@ LlcCounterProbe::roll(Cycles now)
         reset();
         ++epoch_;
     }
+    epochEnd_ = (epoch_ + 1) * width;
 }
 
 void
@@ -118,6 +157,7 @@ LlcCounterProbe::flush(Cycles now)
         publishEpoch(epoch_);
         reset();
         ++epoch_;
+        epochEnd_ = (epoch_ + 1) * bus_.epochCycles();
     }
 }
 
@@ -126,6 +166,19 @@ LlcCounterProbe::flush(Cycles now)
 RxCounterProbe::RxCounterProbe(sim::CounterBus &bus, std::size_t queues)
     : bus_(bus), queues_(queues), aggCounts_(queues, 0)
 {
+    using sim::CounterKey;
+    keyRecycles_ = CounterKey::intern("recycles");
+    keyPages_ = CounterKey::intern("pages");
+    keyReuseMean_ = CounterKey::intern("reuse_mean");
+    keyEntropy_ = CounterKey::intern("entropy");
+    keyTotal_ = CounterKey::intern("total");
+    sources_.reserve(queues);
+    qKeys_.reserve(queues);
+    for (std::size_t q = 0; q < queues; ++q) {
+        sources_.push_back("rxq" + std::to_string(q));
+        qKeys_.push_back(CounterKey::intern("q" + std::to_string(q)));
+    }
+    curEnd_ = bus_.epochCycles();
 }
 
 void
@@ -138,17 +191,16 @@ RxCounterProbe::publishAggregate(std::uint64_t epoch)
                                      aggCounts_.end());
     const double norm = normalizedShannonEntropy(counts);
 
-    sim::CounterSample s;
-    s.source = "rxagg";
-    s.epoch = epoch;
-    s.start = epoch * width;
-    s.end = s.start + width;
-    s.set("total", n);
+    sample_.clearValues();
+    sample_.source = "rxagg";
+    sample_.epoch = epoch;
+    sample_.start = epoch * width;
+    sample_.end = sample_.start + width;
+    sample_.set(keyTotal_, n);
     for (std::size_t q = 0; q < aggCounts_.size(); ++q)
-        s.set("q" + std::to_string(q),
-              static_cast<double>(aggCounts_[q]));
-    s.set("entropy", norm);
-    bus_.publish(s);
+        sample_.set(qKeys_[q], static_cast<double>(aggCounts_[q]));
+    sample_.set(keyEntropy_, norm);
+    bus_.publish(sample_);
 
     aggCounts_.assign(aggCounts_.size(), 0);
     aggTotal_ = 0;
@@ -174,19 +226,19 @@ RxCounterProbe::publishEpoch(std::size_t queue, std::uint64_t epoch)
     const double norm = qs.recycles >= 2
         ? shannonEntropyBits(counts) / std::log2(n) : 1.0;
 
-    sim::CounterSample s;
-    s.source = "rxq" + std::to_string(queue);
-    s.epoch = epoch;
-    s.start = epoch * width;
-    s.end = s.start + width;
-    s.set("recycles", n);
-    s.set("pages", static_cast<double>(qs.pageCounts.size()));
-    s.set("reuse_mean", qs.reuseCount > 0
+    sample_.clearValues();
+    sample_.source = sources_[queue];
+    sample_.epoch = epoch;
+    sample_.start = epoch * width;
+    sample_.end = sample_.start + width;
+    sample_.set(keyRecycles_, n);
+    sample_.set(keyPages_, static_cast<double>(qs.pageCounts.size()));
+    sample_.set(keyReuseMean_, qs.reuseCount > 0
         ? static_cast<double>(qs.reuseSum) /
             static_cast<double>(qs.reuseCount)
         : 0.0);
-    s.set("entropy", norm);
-    bus_.publish(s);
+    sample_.set(keyEntropy_, norm);
+    bus_.publish(sample_);
 
     qs.recycles = 0;
     qs.reuseSum = 0;
@@ -203,7 +255,7 @@ RxCounterProbe::onRecycle(std::size_t queue, std::size_t slot,
         return;
     QueueState &qs = queues_[queue];
 
-    const std::uint64_t target = now / bus_.epochCycles();
+    const std::uint64_t target = epochOf(now);
     if (target > qs.epoch) {
         if (qs.recycles > 0)
             publishEpoch(queue, qs.epoch);
@@ -233,7 +285,7 @@ RxCounterProbe::onRecycle(std::size_t queue, std::size_t slot,
 void
 RxCounterProbe::flush(Cycles now)
 {
-    const std::uint64_t target = now / bus_.epochCycles();
+    const std::uint64_t target = epochOf(now);
     for (std::size_t q = 0; q < queues_.size(); ++q) {
         QueueState &qs = queues_[q];
         if (qs.recycles > 0) {

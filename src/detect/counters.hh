@@ -75,16 +75,41 @@ class LlcCounterProbe : public cache::LlcTelemetry
         bool any = false;
     };
 
-    /** Publish completed epochs up to the one containing @p now. */
-    void roll(Cycles now);
+    /** Interned names of every key this probe emits. */
+    struct Keys
+    {
+        sim::CounterKey cpuAccesses, cpuMisses, missRate;
+        sim::CounterKey ddioFills, ddioCpuDisplaced, ioConflicts;
+        /** Per slice group: (.misses, .fills). */
+        std::vector<std::pair<sim::CounterKey, sim::CounterKey>> group;
+    };
 
+    /**
+     * Publish completed epochs up to the one containing @p now. The
+     * common case -- @p now still inside the current epoch -- is a
+     * single compare against the cached epoch-end cycle; the division
+     * and publish work only run on an actual boundary crossing.
+     */
+    void
+    roll(Cycles now)
+    {
+        if (now < epochEnd_)
+            return;
+        rollSlow(now);
+    }
+
+    void rollSlow(Cycles now);
     void publishEpoch(std::uint64_t epoch);
     void reset();
 
     sim::CounterBus &bus_;
     unsigned groups_;
     std::uint64_t epoch_ = 0;
+    Cycles epochEnd_ = 0;  ///< First cycle past the current epoch.
     Acc acc_;
+    Keys keys_;
+    sim::CounterSample sample_;     ///< Reused across publishes.
+    sim::CounterSample zeroSample_; ///< Prebuilt for empty epochs.
 };
 
 /**
@@ -149,8 +174,37 @@ class RxCounterProbe : public nic::RxTelemetry
     void publishEpoch(std::size_t queue, std::uint64_t epoch);
     void publishAggregate(std::uint64_t epoch);
 
+    /**
+     * Epoch index containing @p now, via a cached [start, end) window
+     * so the per-recycle hot path avoids the 64-bit division.
+     */
+    std::uint64_t
+    epochOf(Cycles now)
+    {
+        if (now < curStart_ || now >= curEnd_) {
+            const Cycles width = bus_.epochCycles();
+            curTarget_ = now / width;
+            curStart_ = curTarget_ * width;
+            curEnd_ = curStart_ + width;
+        }
+        return curTarget_;
+    }
+
     sim::CounterBus &bus_;
     std::vector<QueueState> queues_;
+    std::vector<std::string> sources_;  ///< "rxq<k>" per queue.
+
+    // Interned per-queue sample keys, aggregate keys, and q<k> keys.
+    sim::CounterKey keyRecycles_, keyPages_, keyReuseMean_, keyEntropy_;
+    sim::CounterKey keyTotal_;
+    std::vector<sim::CounterKey> qKeys_;
+
+    sim::CounterSample sample_;  ///< Reused across publishes.
+
+    // Cached epoch window for epochOf().
+    std::uint64_t curTarget_ = 0;
+    Cycles curStart_ = 0;
+    Cycles curEnd_ = 0;
 
     // Cross-queue aggregate epoch state.
     std::uint64_t aggEpoch_ = 0;

@@ -3,11 +3,114 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__SSE2__) && defined(__GNUC__)
+// Baseline builds target generic x86-64, but the autocorrelation
+// kernel below is worth a runtime-dispatched AVX2 variant; immintrin
+// intrinsics are usable inside target("avx2") functions without
+// -mavx2 on the command line.
+#define PKTCHASE_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 
 namespace pktchase::detect
 {
+
+namespace
+{
+
+#if defined(PKTCHASE_AVX2_DISPATCH)
+
+/**
+ * Shared-prefix accumulators for eight adjacent lags: out[k] receives
+ * sum over t < shared of dev[t] * dev[t + lag + k], accumulated in
+ * ascending-t order. Lane k of each 256-bit accumulator performs
+ * exactly the scalar chain of lag + k -- vmulpd/vaddpd round each
+ * lane independently with scalar IEEE semantics, and explicit mul/add
+ * intrinsics are never contracted to FMA -- so the result is
+ * bit-identical to the SSE2 and scalar variants in evaluate().
+ */
+__attribute__((target("avx2"))) void
+lag8SharedAvx2(const double *dev, unsigned shared, unsigned lag,
+               double out[8])
+{
+    __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+    for (unsigned t = 0; t < shared; ++t) {
+        const __m256d d4 = _mm256_set1_pd(dev[t]);
+        lo = _mm256_add_pd(
+            lo, _mm256_mul_pd(d4, _mm256_loadu_pd(dev + t + lag)));
+        hi = _mm256_add_pd(
+            hi, _mm256_mul_pd(d4, _mm256_loadu_pd(dev + t + lag + 4)));
+    }
+    _mm256_storeu_pd(out, lo);
+    _mm256_storeu_pd(out + 4, hi);
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // PKTCHASE_AVX2_DISPATCH
+
+/**
+ * Baseline-ISA variant of the same eight-lag shared-prefix kernel.
+ * On SSE2 two adjacent lags share one vector register: lane k of a
+ * packed accumulator performs exactly the scalar chain of lag + k
+ * (mulpd/addpd round each lane independently with the same IEEE
+ * semantics as mulsd/addsd, and the baseline target has no FMA, so no
+ * contraction can change a rounding), which halves the instruction
+ * stream without touching any sum.
+ */
+void
+lag8Shared(const double *dev, unsigned shared, unsigned lag,
+           double out[8])
+{
+#if defined(__SSE2__)
+    __m128d v01 = _mm_setzero_pd(), v23 = _mm_setzero_pd();
+    __m128d v45 = _mm_setzero_pd(), v67 = _mm_setzero_pd();
+    for (unsigned t = 0; t < shared; ++t) {
+        const __m128d d2 = _mm_set1_pd(dev[t]);
+        v01 = _mm_add_pd(
+            v01, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag)));
+        v23 = _mm_add_pd(
+            v23, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag + 2)));
+        v45 = _mm_add_pd(
+            v45, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag + 4)));
+        v67 = _mm_add_pd(
+            v67, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag + 6)));
+    }
+    _mm_storeu_pd(out, v01);
+    _mm_storeu_pd(out + 2, v23);
+    _mm_storeu_pd(out + 4, v45);
+    _mm_storeu_pd(out + 6, v67);
+#else
+    double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    double a4 = 0, a5 = 0, a6 = 0, a7 = 0;
+    for (unsigned t = 0; t < shared; ++t) {
+        const double d = dev[t];
+        a0 += d * dev[t + lag];
+        a1 += d * dev[t + lag + 1];
+        a2 += d * dev[t + lag + 2];
+        a3 += d * dev[t + lag + 3];
+        a4 += d * dev[t + lag + 4];
+        a5 += d * dev[t + lag + 5];
+        a6 += d * dev[t + lag + 6];
+        a7 += d * dev[t + lag + 7];
+    }
+    out[0] = a0; out[1] = a1; out[2] = a2; out[3] = a3;
+    out[4] = a4; out[5] = a5; out[6] = a6; out[7] = a7;
+#endif
+}
+
+} // namespace
 
 // ------------------------------------------------------------ Detector --
 
@@ -42,7 +145,8 @@ Detector::alarmTimes() const
 
 MissRateSpike::MissRateSpike(const DetectorConfig &cfg)
     : Detector(cfg.threshold > 0.0 ? cfg.threshold : kDefaultThreshold),
-      window_(cfg.window), short_(cfg.shortWindow)
+      window_(cfg.window), short_(cfg.shortWindow),
+      keyCpuMisses_(sim::CounterKey::intern("cpu_misses"))
 {
     if (window_ < 2 || short_ < 1)
         fatal("MissRateSpike: window must be >= 2 and shortWindow >= 1");
@@ -53,7 +157,7 @@ MissRateSpike::evaluate(const sim::CounterSample &s, double &score)
 {
     if (s.source != "llc")
         return false;
-    const double x = s.value("cpu_misses");
+    const double x = s.value(keyCpuMisses_);
     score = 0.0;
 
     if (!frozen_) {
@@ -104,10 +208,26 @@ ReuseEntropyDrop::evaluate(const sim::CounterSample &s, double &score)
     if (s.source != "rxagg")
         return false;
 
+    // Collect the per-queue counts q0, q1, ... by interned key; the
+    // probe emits them for every queue, so the first missing index
+    // ends the scan. The key table grows on demand because the queue
+    // count is only discoverable from the samples themselves.
     std::vector<double> counts;
-    for (const auto &kv : s.values)
-        if (!kv.first.empty() && kv.first[0] == 'q')
-            counts.push_back(kv.second);
+    for (std::size_t q = 0;; ++q) {
+        if (q >= qKeys_.size())
+            qKeys_.push_back(
+                sim::CounterKey::intern("q" + std::to_string(q)));
+        bool found = false;
+        for (const auto &kv : s.values) {
+            if (kv.first == qKeys_[q]) {
+                counts.push_back(kv.second);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            break;
+    }
     score = 0.0;
 
     if (!frozen_) {
@@ -154,7 +274,9 @@ ProbeCadence::ProbeCadence(const DetectorConfig &cfg)
     : Detector(cfg.threshold > 0.0 ? cfg.threshold : kDefaultThreshold),
       window_(cfg.window), minLag_(cfg.minLag),
       maxLag_(cfg.maxLag > 0 ? cfg.maxLag : cfg.window / 2),
-      minEvents_(cfg.minEvents)
+      minEvents_(cfg.minEvents),
+      keyIoConflicts_(sim::CounterKey::intern("io_conflicts")),
+      ring_(cfg.window, 0.0), scratch_(cfg.window, 0.0)
 {
     if (window_ < 8)
         fatal("ProbeCadence: window must be >= 8");
@@ -168,20 +290,46 @@ ProbeCadence::evaluate(const sim::CounterSample &s, double &score)
     if (s.source != "llc")
         return false;
 
-    hist_.push_back(s.value("io_conflicts"));
-    if (hist_.size() > window_)
-        hist_.pop_front();
+    const double x = s.value(keyIoConflicts_);
+    runningTotal_ += x;
+    if (filled_ == window_)
+        runningTotal_ -= ring_[head_];
+    ring_[head_] = x;
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
     score = 0.0;
-    if (hist_.size() < window_)
+    if (filled_ < window_) {
+        ++filled_;
+        if (filled_ < window_)
+            return true;
+    }
+
+    // Too few conflicts to alarm: skip the whole walk. runningTotal_
+    // is integral-exact, so this is the same comparison the full pass
+    // below would make (which also returns zero on a low total).
+    if (runningTotal_ < minEvents_)
         return true;
 
-    double mean = 0.0, total = 0.0;
-    for (double x : hist_)
-        total += x;
-    mean = total / static_cast<double>(window_);
+    // Linearize oldest-to-newest into scratch_ (head_ is the oldest
+    // slot now that the ring is full) and total in that same order.
+    double total = 0.0;
+    std::size_t i = head_;
+    for (unsigned t = 0; t < window_; ++t) {
+        const double v = ring_[i];
+        scratch_[t] = v;
+        total += v;
+        if (++i == window_)
+            i = 0;
+    }
+    const double mean = total / static_cast<double>(window_);
+
+    // Second pass turns scratch_ into the deviation series d[t] =
+    // x[t] - mean while accumulating the variance; the lag loop below
+    // then reads precomputed deviations instead of re-subtracting the
+    // mean O(window * lags) times.
     double var = 0.0;
-    for (double x : hist_) {
-        const double e = x - mean;
+    for (unsigned t = 0; t < window_; ++t) {
+        const double e = scratch_[t] - mean;
+        scratch_[t] = e;
         var += e * e;
     }
     if (var <= 0.0 || total < minEvents_)
@@ -191,17 +339,105 @@ ProbeCadence::evaluate(const sim::CounterSample &s, double &score)
     // attacker's probe loop is the only agent that displaces I/O lines
     // on a fixed period, so a high peak means "someone is priming the
     // ring's sets on a schedule".
+    //
+    // The classic loop nest (per lag, walk t) is one serial chain of
+    // dependent FP adds per lag -- latency-bound. Processing eight
+    // lags per pass runs eight independent add chains concurrently,
+    // hiding that latency. Each chain still receives its products in
+    // ascending-t order (a shared prefix up to the shortest chain's
+    // length, then per-lag tails), so every per-lag sum -- and
+    // therefore every score -- is bit-identical to the serial loop.
+    // The shared prefix runs through lag8Shared (SSE2 or scalar) or,
+    // when the host supports it, the runtime-dispatched AVX2 variant;
+    // all three are bit-identical by construction (see the helpers).
+    const double *dev = scratch_.data();
     double best = 0.0;
     unsigned best_lag = 0;
-    for (unsigned lag = minLag_; lag <= maxLag_; ++lag) {
-        double acc = 0.0;
-        for (unsigned t = 0; t + lag < window_; ++t)
-            acc += (hist_[t] - mean) * (hist_[t + lag] - mean);
+    const auto consider = [&](double acc, unsigned lag) {
         const double r = acc / var;
         if (r > best) {
             best = r;
             best_lag = lag;
         }
+    };
+    unsigned lag = minLag_;
+    for (; lag + 7 <= maxLag_; lag += 8) {
+        const unsigned shared = window_ - (lag + 7); // shortest chain
+        double acc[8];
+#if defined(PKTCHASE_AVX2_DISPATCH)
+        if (haveAvx2())
+            lag8SharedAvx2(dev, shared, lag, acc);
+        else
+#endif
+            lag8Shared(dev, shared, lag, acc);
+        double a0 = acc[0], a1 = acc[1], a2 = acc[2], a3 = acc[3];
+        double a4 = acc[4], a5 = acc[5], a6 = acc[6], a7 = acc[7];
+        for (unsigned t = shared; t + lag < window_; ++t)
+            a0 += dev[t] * dev[t + lag];
+        for (unsigned t = shared; t + lag + 1 < window_; ++t)
+            a1 += dev[t] * dev[t + lag + 1];
+        for (unsigned t = shared; t + lag + 2 < window_; ++t)
+            a2 += dev[t] * dev[t + lag + 2];
+        for (unsigned t = shared; t + lag + 3 < window_; ++t)
+            a3 += dev[t] * dev[t + lag + 3];
+        for (unsigned t = shared; t + lag + 4 < window_; ++t)
+            a4 += dev[t] * dev[t + lag + 4];
+        for (unsigned t = shared; t + lag + 5 < window_; ++t)
+            a5 += dev[t] * dev[t + lag + 5];
+        for (unsigned t = shared; t + lag + 6 < window_; ++t)
+            a6 += dev[t] * dev[t + lag + 6];
+        consider(a0, lag);
+        consider(a1, lag + 1);
+        consider(a2, lag + 2);
+        consider(a3, lag + 3);
+        consider(a4, lag + 4);
+        consider(a5, lag + 5);
+        consider(a6, lag + 6);
+        consider(a7, lag + 7);
+    }
+    for (; lag + 3 <= maxLag_; lag += 4) {
+        const unsigned shared = window_ - (lag + 3);
+        double a0, a1, a2, a3;
+#if defined(__SSE2__)
+        __m128d v01 = _mm_setzero_pd(), v23 = _mm_setzero_pd();
+        for (unsigned t = 0; t < shared; ++t) {
+            const __m128d d2 = _mm_set1_pd(dev[t]);
+            v01 = _mm_add_pd(
+                v01, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag)));
+            v23 = _mm_add_pd(
+                v23, _mm_mul_pd(d2, _mm_loadu_pd(dev + t + lag + 2)));
+        }
+        a0 = _mm_cvtsd_f64(v01);
+        a1 = _mm_cvtsd_f64(_mm_unpackhi_pd(v01, v01));
+        a2 = _mm_cvtsd_f64(v23);
+        a3 = _mm_cvtsd_f64(_mm_unpackhi_pd(v23, v23));
+#else
+        a0 = a1 = a2 = a3 = 0.0;
+        for (unsigned t = 0; t < shared; ++t) {
+            const double d = dev[t];
+            a0 += d * dev[t + lag];
+            a1 += d * dev[t + lag + 1];
+            a2 += d * dev[t + lag + 2];
+            a3 += d * dev[t + lag + 3];
+        }
+#endif
+        for (unsigned t = shared; t + lag < window_; ++t)
+            a0 += dev[t] * dev[t + lag];
+        for (unsigned t = shared; t + lag + 1 < window_; ++t)
+            a1 += dev[t] * dev[t + lag + 1];
+        for (unsigned t = shared; t + lag + 2 < window_; ++t)
+            a2 += dev[t] * dev[t + lag + 2];
+        consider(a0, lag);
+        consider(a1, lag + 1);
+        consider(a2, lag + 2);
+        consider(a3, lag + 3);
+    }
+    for (; lag <= maxLag_; ++lag) {
+        double acc = 0.0;
+        const unsigned n = window_ - lag;
+        for (unsigned t = 0; t < n; ++t)
+            acc += dev[t] * dev[t + lag];
+        consider(acc, lag);
     }
     bestLag_ = best_lag;
     score = best;

@@ -150,6 +150,7 @@ class MissRateSpike : public Detector
   private:
     unsigned window_;
     unsigned short_;
+    sim::CounterKey keyCpuMisses_; ///< Resolved once at construction.
     std::vector<double> calib_;  ///< Calibration span, until frozen.
     bool frozen_ = false;
     double mean_ = 0.0;          ///< Frozen baseline mean.
@@ -181,6 +182,8 @@ class ReuseEntropyDrop : public Detector
     bool frozen_ = false;
     double baseEntropy_ = 1.0;        ///< Frozen baseline entropy.
     std::deque<std::vector<double>> recent_; ///< Last entropyShort.
+    /** Interned "q<k>" keys, grown on demand as queues appear. */
+    std::vector<sim::CounterKey> qKeys_;
 };
 
 /** Autocorrelation peak of per-epoch eviction-set-conflict counts. */
@@ -205,7 +208,27 @@ class ProbeCadence : public Detector
     unsigned minLag_;
     unsigned maxLag_;
     double minEvents_;
-    std::deque<double> hist_;
+    sim::CounterKey keyIoConflicts_; ///< Resolved at construction.
+
+    // The window lives in a flat ring buffer (head_ = next write slot
+    // = oldest element once full) and each evaluation linearizes it
+    // into scratch_, which then holds the per-epoch deviations for
+    // the lag loop -- flat contiguous arrays instead of a deque, with
+    // the exact same summation order as the original deque walk, so
+    // scores stay bit-identical.
+    std::vector<double> ring_;
+    std::size_t head_ = 0;
+    std::size_t filled_ = 0;
+    std::vector<double> scratch_;
+    /**
+     * Window total maintained incrementally. io_conflicts values are
+     * integral counts, so every partial sum is exact in a double and
+     * this equals the linearized left-to-right total bit-for-bit --
+     * safe to use for the minEvents early-out without touching the
+     * window (the make-or-break cost on benign cells, where nearly
+     * every epoch exits here).
+     */
+    double runningTotal_ = 0.0;
     unsigned bestLag_ = 0;
 };
 

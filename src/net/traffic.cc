@@ -217,15 +217,13 @@ TrafficPump::TrafficPump(EventQueue &eq, nic::IgbDriver &driver,
     scheduleNext(start);
 }
 
-void
-TrafficPump::scheduleNext(Cycles earliest)
+bool
+TrafficPump::pullNext(Cycles earliest)
 {
     nic::Frame frame;
     Cycles gap = 0;
-    if (!source_->next(frame, gap)) {
-        exhausted_ = true;
-        return;
-    }
+    if (!source_->next(frame, gap))
+        return false;
 
     double when = static_cast<double>(earliest) + static_cast<double>(gap);
     if (jitterSigma_ > 0.0)
@@ -238,13 +236,55 @@ TrafficPump::scheduleNext(Cycles earliest)
     arrival = std::max(arrival, eq_.now());
     wireFreeAt_ = arrival + wireCycles(frame);
 
-    eq_.schedule(arrival, [this, frame] {
-        driver_.receive(frame, eq_.now());
-        ++delivered_;
-        if (observer_)
-            observer_(frame, eq_.now());
-        scheduleNext(eq_.now());
-    });
+    nextFrame_ = frame;
+    nextArrival_ = arrival;
+    return true;
+}
+
+void
+TrafficPump::scheduleNext(Cycles earliest)
+{
+    if (!pullNext(earliest)) {
+        exhausted_ = true;
+        return;
+    }
+    eq_.schedule(nextArrival_, [this] { deliverBatch(); });
+}
+
+void
+TrafficPump::deliverBatch()
+{
+    // The event runs at nextFrame_'s arrival cycle: eq_.now() ==
+    // nextArrival_.
+    batchFrames_.clear();
+    batchWhen_.clear();
+    batchFrames_.push_back(nextFrame_);
+    batchWhen_.push_back(nextArrival_);
+
+    // Fold subsequent arrivals into this event while no other pending
+    // event (and no runUntil horizon) falls at or before them. A
+    // refused advance leaves the frame pulled, to be scheduled as its
+    // own event below -- exactly the unbatched behaviour. Observers
+    // must see the driver between frames, so they disable batching.
+    const bool batching = maxBatch_ > 1 && !observer_;
+    bool more = pullNext(eq_.now());
+    while (more && batching && batchFrames_.size() < maxBatch_
+           && eq_.tryAdvanceWithin(nextArrival_)) {
+        batchFrames_.push_back(nextFrame_);
+        batchWhen_.push_back(nextArrival_);
+        more = pullNext(eq_.now());
+    }
+
+    driver_.receiveBatch(batchFrames_.data(), batchWhen_.data(),
+                         batchFrames_.size());
+    delivered_ += batchFrames_.size();
+    if (observer_)
+        observer_(batchFrames_[0], batchWhen_[0]);
+
+    if (more)
+        eq_.schedule(nextArrival_, [this] { deliverBatch(); });
+    else
+        exhausted_ = true;
 }
 
 } // namespace pktchase::net

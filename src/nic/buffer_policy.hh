@@ -13,6 +13,13 @@
  *  - onPacket(q, n)   at the top of receive(), before the NIC DMA,
  *                     where n is the number of frames this queue has
  *                     received so far (0 for the first packet);
+ *  - onPacketBatch(q, frames, count, first_n)
+ *                     batched form of onPacket for a run of count
+ *                     consecutive frames steered to q; the default
+ *                     implementation delegates to onPacket once per
+ *                     frame, so overriding it is purely an
+ *                     optimization (see hookTraits below for when the
+ *                     driver may use it);
  *  - onRecycle(q, i)  after the driver finished processing the
  *                     queue's descriptor i (copy-break reuse or page
  *                     flip already applied), when the buffer is
@@ -34,11 +41,13 @@
 #ifndef PKTCHASE_NIC_BUFFER_POLICY_HH
 #define PKTCHASE_NIC_BUFFER_POLICY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
 
+#include "nic/frame.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -51,15 +60,59 @@ class RxQueue;
 class BufferPolicy
 {
   public:
+    /**
+     * Static dispatch hints for the batched receive path. The driver
+     * caches these per queue when the policy is installed, so they
+     * must describe the *instance for its whole lifetime* — a policy
+     * whose hook behaviour can change mid-run (e.g. a detector-gated
+     * wrapper arming) must report the conservative (all-false)
+     * default.
+     */
+    struct HookTraits
+    {
+        /** onPacket/onPacketBatch do nothing: skip dispatch entirely. */
+        bool packetNoop = false;
+        /** onRecycle does nothing: skip dispatch entirely. */
+        bool recycleNoop = false;
+        /**
+         * onPacketBatch over a run of frames is semantically identical
+         * to per-frame onPacket calls interleaved with descriptor
+         * processing (true whenever onPacket does not read or mutate
+         * ring state that descriptor processing also touches). The
+         * driver only routes through onPacketBatch when this is set.
+         */
+        bool packetBatchable = false;
+    };
+
     virtual ~BufferPolicy() = default;
 
     /** Canonical registry spec of this instance, e.g. "ring.partial:1000". */
     virtual std::string name() const = 0;
 
+    /** Dispatch hints; see HookTraits. Must be constant per instance. */
+    virtual HookTraits hookTraits() const { return {}; }
+
     virtual void onInit(RxQueue &) {}
     virtual void onPacket(RxQueue &, std::uint64_t) {}
     virtual void onRecycle(RxQueue &, std::size_t) {}
     virtual void onTeardown(RxQueue &) {}
+
+    /**
+     * Batched packet hook: called in place of onPacket for a run of
+     * @p count consecutive frames all steered to @p q, where
+     * @p first_n is the queue's frames-received count before the first
+     * frame of the run (so frame k of the run is packet first_n + k).
+     * The default delegates to onPacket once per frame in arrival
+     * order, which is exactly the per-packet behaviour.
+     */
+    virtual void
+    onPacketBatch(RxQueue &q, const Frame *frames, std::size_t count,
+                  std::uint64_t first_n)
+    {
+        (void)frames;
+        for (std::size_t k = 0; k < count; ++k)
+            onPacket(q, first_n + k);
+    }
 };
 
 /** Vulnerable baseline: buffers recycle in place forever. */
@@ -67,6 +120,13 @@ class NonePolicy : public BufferPolicy
 {
   public:
     std::string name() const override { return "ring.none"; }
+
+    /** The no-defense fast path: every hook is skippable. */
+    HookTraits
+    hookTraits() const override
+    {
+        return {true, true, true};
+    }
 };
 
 /** Sec. VI full randomization: a fresh random buffer for every packet. */
@@ -74,6 +134,13 @@ class FullRandomPolicy : public BufferPolicy
 {
   public:
     std::string name() const override { return "ring.full"; }
+
+    HookTraits
+    hookTraits() const override
+    {
+        return {true, false, true};
+    }
+
     void onRecycle(RxQueue &q, std::size_t i) override;
 };
 
@@ -87,6 +154,11 @@ class PartialPeriodicPolicy : public BufferPolicy
     explicit PartialPeriodicPolicy(std::uint64_t interval = kDefaultInterval);
 
     std::string name() const override;
+
+    // Keeps the all-false HookTraits default: onPacket reshuffles the
+    // ring and must interleave with descriptor processing, so neither
+    // skipping nor batching its dispatch is sound.
+
     void onPacket(RxQueue &q, std::uint64_t n) override;
 
     std::uint64_t interval() const { return interval_; }
@@ -107,6 +179,13 @@ class RandomOffsetPolicy : public BufferPolicy
 {
   public:
     std::string name() const override { return "ring.offset"; }
+
+    HookTraits
+    hookTraits() const override
+    {
+        return {true, false, true};
+    }
+
     void onInit(RxQueue &q) override;
     void onRecycle(RxQueue &q, std::size_t i) override;
 
@@ -132,6 +211,13 @@ class QuarantinePolicy : public BufferPolicy
     explicit QuarantinePolicy(std::uint64_t depth = kDefaultDepth);
 
     std::string name() const override;
+
+    HookTraits
+    hookTraits() const override
+    {
+        return {true, false, true};
+    }
+
     void onInit(RxQueue &q) override;
     void onRecycle(RxQueue &q, std::size_t i) override;
     void onTeardown(RxQueue &q) override;

@@ -29,7 +29,8 @@ RxQueue::RxQueue(IgbDriver &drv, std::size_t index,
     : drv_(drv), index_(index), seed_(seed), ring_(ring_size),
       rng_(seed),
       policy_(policy ? std::move(policy)
-                     : std::make_unique<NonePolicy>())
+                     : std::make_unique<NonePolicy>()),
+      traits_(policy_->hookTraits())
 {
 }
 
@@ -155,33 +156,87 @@ IgbDriver::~IgbDriver()
 std::size_t
 IgbDriver::receive(const Frame &frame, Cycles now)
 {
-    if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
-        fatal("IgbDriver::receive: frame size outside 802.3 limits");
+    return receiveBatch(&frame, &now, 1);
+}
+
+std::size_t
+IgbDriver::receiveBatch(const Frame *frames, const Cycles *when,
+                        std::size_t count)
+{
+    if (count == 0)
+        fatal("IgbDriver::receiveBatch: empty batch");
 
     const obs::ScopedSpan span("nic.deliver", "nic");
-    obs::bump(obs::Stat::FramesDelivered);
+    obs::bump(obs::Stat::FramesDelivered, count);
 
-    RxQueue &q = *queues_[rss_.queueFor(frame.flow)];
-    obs::bump(obs::Stat::PolicyHooks);
-    q.policy_->onPacket(q, q.stats_.framesReceived);
+    const bool ddio = hier_.ddioEnabled();
+    std::size_t last = 0;
+    // Frames [i, batchHookEnd) already had their packet hook issued
+    // through one onPacketBatch call covering the run; runStart and
+    // runFirstN remember what that call was told so the per-frame
+    // loop below can verify the delegation contract: frame runStart+k
+    // must observe stats_.framesReceived == runFirstN + k, the exact
+    // value the default onPacketBatch loop hands to onPacket.
+    std::size_t batchHookEnd = 0;
+    std::size_t runStart = 0;
+    std::uint64_t runFirstN = 0;
 
-    const std::size_t index = q.ring_.head();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Frame &frame = frames[i];
+        const Cycles now = when[i];
+        if (frame.bytes < minFrameBytes || frame.bytes > maxFrameBytes)
+            fatal("IgbDriver::receive: frame size outside 802.3 limits");
+        if (i > 0 && now < when[i - 1]) {
+            panic("IgbDriver::receiveBatch: arrivals out of order "
+                  "within a batch");
+        }
 
-    // NIC DMA: with DDIO the blocks land in the LLC; without, they go
-    // to memory and the driver's reads below demand-fetch them.
-    hier_.dmaWrite(q.ring_.desc(index).bufferAddr(), frame.bytes, now);
-    q.ring_.advance();
+        RxQueue &q = *queues_[rss_.queueFor(frame.flow)];
+        if (q.traits_.packetNoop) {
+            // Devirtualized no-defense fast path: nothing to dispatch.
+        } else if (q.traits_.packetBatchable) {
+            if (i >= batchHookEnd) {
+                std::size_t j = i + 1;
+                while (j < count
+                       && queues_[rss_.queueFor(frames[j].flow)].get()
+                              == &q) {
+                    ++j;
+                }
+                obs::bump(obs::Stat::PolicyHooks, j - i);
+                runStart = i;
+                runFirstN = q.stats_.framesReceived;
+                q.policy_->onPacketBatch(q, frames + i, j - i,
+                                         runFirstN);
+                batchHookEnd = j;
+            }
+            if (q.stats_.framesReceived != runFirstN + (i - runStart)) {
+                panic("IgbDriver::receiveBatch: framesReceived drifted "
+                      "from the ordinal passed to the batched hook");
+            }
+        } else {
+            obs::bump(obs::Stat::PolicyHooks);
+            q.policy_->onPacket(q, q.stats_.framesReceived);
+        }
 
-    // Without DDIO the driver sees the frame only after the I/O write
-    // has reached memory and the interrupt fired.
-    const Cycles when = hier_.ddioEnabled()
-        ? now : now + cfg_.ioToDriverLatency;
-    processRx(q, index, frame, when);
+        const std::size_t index = q.ring_.head();
 
-    ++q.stats_.framesReceived;
-    if (q.tap_)
-        q.tap_(index, frame, now);
-    return globalIndex(q.index_, index);
+        // NIC DMA: with DDIO the blocks land in the LLC; without, they
+        // go to memory and the driver's reads below demand-fetch them.
+        hier_.dmaWrite(q.ring_.desc(index).bufferAddr(), frame.bytes,
+                       now);
+        q.ring_.advance();
+
+        // Without DDIO the driver sees the frame only after the I/O
+        // write has reached memory and the interrupt fired.
+        const Cycles seen = ddio ? now : now + cfg_.ioToDriverLatency;
+        processRx(q, index, frame, seen);
+
+        ++q.stats_.framesReceived;
+        if (q.tap_)
+            q.tap_(index, frame, now);
+        last = globalIndex(q.index_, index);
+    }
+    return last;
 }
 
 void
@@ -238,8 +293,10 @@ IgbDriver::processRx(RxQueue &q, std::size_t desc_index,
         }
     }
 
-    obs::bump(obs::Stat::PolicyHooks);
-    q.policy_->onRecycle(q, desc_index);
+    if (!q.traits_.recycleNoop) {
+        obs::bump(obs::Stat::PolicyHooks);
+        q.policy_->onRecycle(q, desc_index);
+    }
 
     // Post-defense recycle telemetry: report the page that will back
     // the slot's next fill, so probes see the ring as defended.

@@ -114,6 +114,9 @@ class RxQueue
     /** The queue's software ring defense. */
     const BufferPolicy &policy() const { return *policy_; }
 
+    /** The policy's dispatch hints, cached when it was installed. */
+    const BufferPolicy::HookTraits &hookTraits() const { return traits_; }
+
     /** The owning driver's configuration. */
     const IgbConfig &config() const;
 
@@ -183,6 +186,7 @@ class RxQueue
     Rng rng_;
     IgbStats stats_;
     std::unique_ptr<BufferPolicy> policy_;
+    BufferPolicy::HookTraits traits_; ///< policy_->hookTraits(), cached.
     DeliveryTap tap_;
 };
 
@@ -235,6 +239,23 @@ class IgbDriver
      *         single-queue configurations).
      */
     std::size_t receive(const Frame &frame, Cycles now);
+
+    /**
+     * Batched receive: process @p count frames with nondecreasing
+     * arrival cycles in one call, equivalent frame for frame to
+     * calling receive() on each. The batch hoists the per-frame
+     * tracing span and counter bumps, skips hook dispatch for
+     * policies whose cached HookTraits mark the hook a no-op (the
+     * devirtualized no-defense fast path), and routes runs of
+     * same-queue frames through BufferPolicy::onPacketBatch when the
+     * policy declares that batchable. Per-frame descriptor
+     * processing, statistics, and delivery taps are unchanged and
+     * keep arrival order within each queue.
+     *
+     * @return Global index of the descriptor the last frame filled.
+     */
+    std::size_t receiveBatch(const Frame *frames, const Cycles *when,
+                             std::size_t count);
 
     /** Number of receive queues. */
     std::size_t numQueues() const { return queues_.size(); }

@@ -5,13 +5,6 @@
 namespace pktchase::obs
 {
 
-namespace detail
-{
-
-thread_local StatBlock tlsStats;
-
-} // namespace detail
-
 const char *
 statName(Stat s)
 {
@@ -64,7 +57,7 @@ StatSnapshot
 snapshot()
 {
     StatSnapshot s;
-    s.counts = detail::tlsStats.counts;
+    s.counts = detail::tlsStats().counts;
     return s;
 }
 

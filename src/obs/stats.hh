@@ -39,12 +39,23 @@ namespace pktchase::obs
 /** The closed set of hot-path counters. */
 enum class Stat : unsigned
 {
-    SimEvents = 0,   ///< EventQueue callbacks executed.
+    /**
+     * Logical events executed: EventQueue callbacks popped plus
+     * events a handler folded into itself via tryAdvanceWithin(), so
+     * totals are identical whether hot loops batch or reschedule.
+     */
+    SimEvents = 0,
     FramesDelivered, ///< IgbDriver::receive completions.
     LlcAccesses,     ///< Llc cpuRead + cpuWrite + ioWrite calls.
     LlcMisses,       ///< Llc demand-miss fills + I/O allocations.
     ProbeRounds,     ///< PrimeProbeMonitor::probeAll rounds.
-    PolicyHooks,     ///< Per-packet BufferPolicy hook invocations.
+    /**
+     * BufferPolicy hook dispatches, counted per frame: a hook the
+     * driver skips because the policy's HookTraits mark it a no-op is
+     * not counted, and one onPacketBatch call covering k frames
+     * counts k.
+     */
+    PolicyHooks,
     DetectorEpochs,  ///< CounterBus samples published.
     /**
      * Scheduling counters (CellsStolen, StealAttempts) are bumped by
@@ -73,7 +84,19 @@ struct StatBlock
     std::array<std::uint64_t, kStatCount> counts{};
 };
 
-extern thread_local StatBlock tlsStats;
+/**
+ * The block lives inside an inline function rather than as an extern
+ * thread_local object: constant-initialized and trivially
+ * destructible, the local compiles to a plain TLS access with no
+ * cross-TU init-wrapper call on the bump path (and no wrapper for
+ * UBSan to trip over).
+ */
+inline StatBlock &
+tlsStats()
+{
+    static thread_local StatBlock block;
+    return block;
+}
 
 } // namespace detail
 
@@ -81,7 +104,7 @@ extern thread_local StatBlock tlsStats;
 inline void
 bump(Stat s, std::uint64_t n = 1)
 {
-    detail::tlsStats.counts[static_cast<unsigned>(s)] += n;
+    detail::tlsStats().counts[static_cast<unsigned>(s)] += n;
 }
 
 /**

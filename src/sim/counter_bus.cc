@@ -1,5 +1,9 @@
 #include "counter_bus.hh"
 
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -7,23 +11,103 @@
 namespace pktchase::sim
 {
 
+namespace
+{
+
+/**
+ * Process-wide intern table. The deque gives every interned spelling
+ * a stable address, so CounterKey::str() can hand out references
+ * without holding the lock. Ids are 1-based; 0 is the invalid key.
+ */
+struct InternRegistry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::deque<std::string> names;
+};
+
+InternRegistry &
+registry()
+{
+    static InternRegistry r;
+    return r;
+}
+
+} // namespace
+
+CounterKey
+CounterKey::intern(const std::string &name)
+{
+    InternRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.ids.find(name);
+    if (it != r.ids.end())
+        return CounterKey(it->second);
+    r.names.push_back(name);
+    const auto id = static_cast<std::uint32_t>(r.names.size());
+    r.ids.emplace(name, id);
+    return CounterKey(id);
+}
+
+const std::string &
+CounterKey::str() const
+{
+    if (id_ == 0)
+        fatal("CounterKey: str() on an invalid (default) key");
+    // names never shrinks and deque elements never move, so the
+    // reference stays valid after the lock drops.
+    InternRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.names[id_ - 1];
+}
+
+void
+CounterSample::set(CounterKey key, double v)
+{
+    if (!key.valid())
+        fatal("CounterSample: set() with an invalid key");
+    for (const auto &kv : values)
+        if (kv.first == key)
+            fatal("CounterSample: duplicate key '" + key.str() +
+                  "' in sample from '" + source + "'");
+    values.emplace_back(key, v);
+}
+
+void
+CounterSample::set(const std::string &key, double v)
+{
+    set(CounterKey::intern(key), v);
+}
+
 double
-CounterSample::value(const std::string &key) const
+CounterSample::value(CounterKey key) const
 {
     for (const auto &kv : values)
         if (kv.first == key)
             return kv.second;
-    fatal("CounterSample: no value named '" + key + "' in sample from '" +
-          source + "'");
+    fatal("CounterSample: no value named '" + key.str() +
+          "' in sample from '" + source + "'");
+}
+
+double
+CounterSample::value(const std::string &key) const
+{
+    return value(CounterKey::intern(key));
 }
 
 bool
-CounterSample::has(const std::string &key) const
+CounterSample::has(CounterKey key) const
 {
     for (const auto &kv : values)
         if (kv.first == key)
             return true;
     return false;
+}
+
+bool
+CounterSample::has(const std::string &key) const
+{
+    return has(CounterKey::intern(key));
 }
 
 CounterBus::CounterBus(Cycles epoch_cycles)

@@ -11,6 +11,12 @@
  * epoch's values. The bus itself is dumb fan-out -- subscribers see
  * samples in publish order, synchronously, on the simulating thread.
  *
+ * Counter names are interned once into CounterKey ids, so the
+ * publish-side hot path (hundreds of thousands of epochs per run)
+ * moves integer/double pairs instead of allocating std::string keys,
+ * and consumers compare ids instead of characters. The string-keyed
+ * set()/value()/has() conveniences remain for tests and cold paths.
+ *
  * Off-path guarantee: emitters hold a nullable probe pointer and skip
  * all telemetry work when it is null (the default), so an experiment
  * that attaches no rig executes the exact same loads, stores, and RNG
@@ -40,6 +46,38 @@ namespace pktchase::sim
  */
 constexpr Cycles kDefaultEpochCycles = 20000;
 
+/**
+ * An interned counter name: a process-wide id standing for one
+ * spelling. Interning takes a global lock and is meant for
+ * construction/subscription time; comparisons and copies are integer
+ * cheap. A default-constructed key is invalid and matches nothing.
+ *
+ * Ids are assigned in first-intern order, so their numeric values may
+ * differ between runs and threads -- nothing observable may depend on
+ * id magnitude, only on equality (which is interleaving-independent
+ * because interning the same spelling always yields the same id
+ * within a process).
+ */
+class CounterKey
+{
+  public:
+    CounterKey() = default;
+
+    /** Intern @p name, returning its process-wide key. */
+    static CounterKey intern(const std::string &name);
+
+    /** The interned spelling; fatal() on an invalid key. */
+    const std::string &str() const;
+
+    bool valid() const { return id_ != 0; }
+    bool operator==(CounterKey o) const { return id_ == o.id_; }
+    bool operator!=(CounterKey o) const { return id_ != o.id_; }
+
+  private:
+    explicit CounterKey(std::uint32_t id) : id_(id) {}
+    std::uint32_t id_ = 0;
+};
+
 /** One epoch's worth of counter values from one telemetry source. */
 struct CounterSample
 {
@@ -50,21 +88,30 @@ struct CounterSample
     Cycles start = 0;         ///< First cycle of the epoch.
     Cycles end = 0;           ///< One past the last cycle.
 
-    /** Named counter values, in emission order. */
-    std::vector<std::pair<std::string, double>> values;
+    /** Keyed counter values, in emission order. */
+    std::vector<std::pair<CounterKey, double>> values;
 
-    /** Append one named value. */
-    void
-    set(const std::string &key, double v)
-    {
-        values.emplace_back(key, v);
-    }
+    /**
+     * Append one keyed value. Emitting the same key twice in one
+     * sample is fatal(): a duplicate would silently shadow the later
+     * value in value() lookups (probes reset values between epochs
+     * with clearValues()).
+     */
+    void set(CounterKey key, double v);
 
-    /** Look up a value by name; fatal() when absent. */
+    /** String-keyed convenience (interns @p key). */
+    void set(const std::string &key, double v);
+
+    /** Look up a value by key; fatal() when absent. */
+    double value(CounterKey key) const;
     double value(const std::string &key) const;
 
-    /** Whether a value named @p key exists. */
+    /** Whether a value with @p key exists. */
+    bool has(CounterKey key) const;
     bool has(const std::string &key) const;
+
+    /** Drop all values (reuse helper for per-epoch scratch samples). */
+    void clearValues() { values.clear(); }
 };
 
 /**

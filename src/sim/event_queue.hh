@@ -6,6 +6,13 @@
  * arrivals paced by the network line rate, and attacker probes paced by
  * the probe rate — plus optional background noise. The EventQueue orders
  * these by cycle with a stable FIFO tie-break so runs are deterministic.
+ *
+ * The heap is hand-rolled over a flat vector so that popping an event
+ * *moves* its callback out instead of copying it (std::priority_queue
+ * only exposes a const top(), which forced a std::function copy — and
+ * usually a heap allocation — per executed event). Because every entry
+ * carries a unique (when, seq) key, the execution order is the total
+ * order of that key and is independent of the heap's internal layout.
  */
 
 #ifndef PKTCHASE_SIM_EVENT_QUEUE_HH
@@ -13,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "types.hh"
@@ -40,7 +46,9 @@ class EventQueue
      * exceed @p horizon.
      *
      * @param horizon Latest cycle (inclusive) to execute events for.
-     * @return Number of events executed.
+     * @return Number of events executed (popped from the queue; work
+     *         inlined into an event via tryAdvanceWithin() is counted
+     *         in obs::Stat::SimEvents but not here).
      */
     std::size_t runUntil(Cycles horizon);
 
@@ -56,6 +64,39 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /**
+     * Cycle of the earliest pending event, or ~0 when the queue is
+     * empty. Inside a running event the event itself has already been
+     * popped, so this is the time of the *next* event to execute.
+     */
+    Cycles
+    nextEventTime() const
+    {
+        return heap_.empty() ? ~static_cast<Cycles>(0) : heap_[0].when;
+    }
+
+    /**
+     * Advance simulated time to @p when from inside a running event,
+     * without returning to the scheduler loop.
+     *
+     * This is the batching primitive: an event handler that would
+     * otherwise reschedule itself at @p when may instead advance the
+     * clock and continue inline, provided no other event and no
+     * runUntil() horizon intervenes. The advance is refused (returns
+     * false, clock untouched) unless all of the following hold:
+     *
+     *  - a runUntil() is active and @p when is within its horizon;
+     *  - every pending event is strictly later than @p when (a pending
+     *    event at exactly @p when has an older seq than the event the
+     *    handler would have rescheduled, so it must run first);
+     *  - @p when is not in the past.
+     *
+     * A successful advance counts as one executed event in
+     * obs::Stat::SimEvents, so counter totals are identical whether a
+     * handler batches or reschedules.
+     */
+    bool tryAdvanceWithin(Cycles when);
+
   private:
     struct Entry
     {
@@ -64,20 +105,27 @@ class EventQueue
         Callback cb;
     };
 
-    struct Later
+    /** True when @p a executes before @p b (min-heap order). */
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Move the earliest entry out of the heap. */
+    Entry popTop();
+
+    std::vector<Entry> heap_;
     Cycles now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    /** Horizon of the innermost active runUntil(); valid when inRun_. */
+    Cycles activeHorizon_ = 0;
+    bool inRun_ = false;
 };
 
 } // namespace pktchase

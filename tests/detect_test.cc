@@ -82,6 +82,25 @@ TEST(CounterBus, FansOutInSubscriptionOrder)
     EXPECT_EQ(bus.published(), 1u);
 }
 
+TEST(CounterSampleDeath, DuplicateKeyIsFatal)
+{
+    // A sample is one epoch's snapshot: setting the same key twice
+    // means two subsystems disagree about who owns it (or a reused
+    // sample was not cleared), and a silent overwrite would let the
+    // detectors score the wrong value. fatal() exits with code 1.
+    sim::CounterSample s;
+    s.source = "llc";
+    s.set("cpu_misses", 3.0);
+    EXPECT_EXIT(s.set("cpu_misses", 4.0),
+                ::testing::ExitedWithCode(1), "duplicate key");
+
+    // Interned and string-spelled sets collide on the same key too:
+    // interning is a lookup, not a namespace.
+    const sim::CounterKey key = sim::CounterKey::intern("cpu_misses");
+    EXPECT_EXIT(s.set(key, 5.0),
+                ::testing::ExitedWithCode(1), "duplicate key");
+}
+
 TEST(LlcCounterProbe, RollsEpochsAndZeroFillsGaps)
 {
     sim::CounterBus bus(1000);

@@ -9,9 +9,15 @@ Compares every throughput metric (by default: any key ending in
 ``_per_sec``, which covers sim_events_per_sec, frames_per_sec and
 probe_rounds_per_sec) at the report top level and inside each cell,
 cells matched by name. Exits 1 if any matched metric in CURRENT is
-more than ``threshold`` below its BASELINE value, or if a baseline
-cell disappeared. Improvements and new cells are reported but never
-fail the run.
+more than ``threshold`` below its BASELINE value, if a baseline
+cell disappeared, or if a baseline metric is negative (a corrupt
+snapshot must not silently pass). A zero baseline is legitimate
+(benign cells run no probe rounds) but cannot express a ratio, so it
+is compared for sign only: zero -> zero is ok, zero -> positive is
+reported as ``appeared``. Metric keys present in CURRENT but absent
+from the baseline are reported as ``unpinned`` so a new hot-path
+metric does not ride along unguarded. Improvements and new cells are
+reported but never fail the run.
 
 CI runs this against the snapshots in bench/baselines/, which were
 recorded on a deliberately slow reference box -- a regression there
@@ -60,7 +66,20 @@ def compare(context, base, cur, suffixes, threshold, failures, lines):
             failures.append(f"{context}: {key} missing from current")
             continue
         old, new = float(base[key]), float(cur[key])
-        if old <= 0.0:
+        if old < 0.0:
+            failures.append(
+                f"{context}: {key} baseline {old:.6g} is negative "
+                f"(corrupt snapshot?)")
+            continue
+        if old == 0.0:
+            # No ratio to take. Zero -> zero is consistent; a metric
+            # springing to life means the baseline no longer pins it.
+            if new == 0.0:
+                lines.append(f"  zero      {context}: {key} 0 -> 0")
+            else:
+                lines.append(
+                    f"  appeared  {context}: {key} 0 -> {new:.6g} "
+                    f"(baseline pins no rate; refresh to guard it)")
             continue
         delta = (new - old) / old
         mark = "ok"
@@ -72,6 +91,11 @@ def compare(context, base, cur, suffixes, threshold, failures, lines):
         lines.append(
             f"  {mark:9s} {context}: {key} "
             f"{old:.6g} -> {new:.6g} ({delta:+.1%})")
+    for key in throughput_keys(cur, suffixes):
+        if key not in base:
+            lines.append(
+                f"  unpinned  {context}: {key} {float(cur[key]):.6g} "
+                f"(not in baseline)")
 
 
 def main():
