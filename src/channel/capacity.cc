@@ -83,14 +83,17 @@ symbolFromClass(Scheme scheme, unsigned cls)
 } // namespace
 
 std::vector<unsigned>
-testSymbols(Scheme scheme, std::size_t count)
+testSymbols(Scheme scheme, std::size_t count, std::size_t offset)
 {
     Lfsr lfsr(15, 0x5A5Au & 0x7FFF);
+    const std::size_t total = offset + count;
     const std::size_t bits_needed =
-        scheme == Scheme::Binary ? count : 2 * count;
+        scheme == Scheme::Binary ? total : 2 * total;
     std::vector<unsigned> symbols =
         bitsToSymbols(scheme, lfsr.bits(bits_needed));
-    symbols.resize(count);
+    symbols.resize(total);
+    symbols.erase(symbols.begin(),
+                  symbols.begin() + static_cast<std::ptrdiff_t>(offset));
     return symbols;
 }
 
@@ -130,8 +133,8 @@ pickMonitoredBuffers(testbed::Testbed &tb, std::size_t n)
 ChannelMeasurement
 runCovertChannel(testbed::Testbed &tb, const ChannelRunConfig &cfg)
 {
-    const std::vector<unsigned> sent = testSymbols(cfg.scheme,
-                                                   cfg.nSymbols);
+    const std::vector<unsigned> sent = testSymbols(
+        cfg.scheme, cfg.nSymbols, cfg.symbolOffset);
     const std::size_t ring = tb.driver().ring().size();
     const std::size_t pps = ring / cfg.monitoredBuffers;
 
@@ -178,8 +181,9 @@ runCovertChannel(testbed::Testbed &tb, const ChannelRunConfig &cfg)
     m.received = listened.events.size();
     m.probeRounds = listened.rounds;
     const std::vector<unsigned> received = listened.symbols();
+    m.editDistance = levenshtein(sent, received);
     m.errorRate = sent.empty() ? 0.0
-        : static_cast<double>(levenshtein(sent, received)) /
+        : static_cast<double>(m.editDistance) /
             static_cast<double>(sent.size());
     m.elapsed = (last_arrival > first_arrival)
         ? last_arrival - first_arrival : 0;
@@ -196,8 +200,8 @@ runCovertChannel(testbed::Testbed &tb, const ChannelRunConfig &cfg)
 ChannelMeasurement
 runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
 {
-    const std::vector<unsigned> sent = testSymbols(cfg.scheme,
-                                                   cfg.nSymbols);
+    const std::vector<unsigned> sent = testSymbols(
+        cfg.scheme, cfg.nSymbols, cfg.symbolOffset);
 
     // Sequences the spy follows, one per receive queue: ground truth
     // with optional injected transpositions standing in for recovery
@@ -282,6 +286,9 @@ runChasingChannel(testbed::Testbed &tb, const ChasingChannelConfig &cfg)
     m.sent = sent_classes.size();
     m.received = chased.packets.size();
     m.probeRounds = chased.probes;
+    m.editMatches = ops.matches;
+    m.editSubstitutions = ops.substitutions;
+    m.editDeletions = ops.deletions;
     const std::size_t synced = ops.matches + ops.substitutions;
     m.errorRate = synced > 0
         ? static_cast<double>(ops.substitutions) /

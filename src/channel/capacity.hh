@@ -36,6 +36,10 @@ struct ChannelRunConfig
     Scheme scheme = Scheme::Ternary;
     double probeRateHz = 14000;
     std::size_t nSymbols = 400;
+    /** First LFSR symbol to transmit: the run covers stream positions
+     *  [symbolOffset, symbolOffset + nSymbols), so a campaign task
+     *  can transmit one chunk of a longer pinned stream. */
+    std::size_t symbolOffset = 0;
     std::size_t monitoredBuffers = 1;
     double sendRatePps = 0.0;          ///< 0 = line rate.
     double cacheNoiseHz = 0.0;         ///< Noise batches per second.
@@ -50,6 +54,9 @@ struct ChasingChannelConfig
     Scheme scheme = Scheme::Ternary;
     double targetBandwidthBps = 160000;
     std::size_t nSymbols = 2000;
+    /** First LFSR symbol to transmit (chunking, as in
+     *  ChannelRunConfig::symbolOffset). */
+    std::size_t symbolOffset = 0;
     double cacheNoiseHz = 0.0;
     unsigned cacheNoiseBatch = 32;
     double arrivalJitterSigma = 500;
@@ -80,6 +87,17 @@ struct ChannelMeasurement
     double outOfSyncRate = 0.0; ///< Chasing mode only.
     Cycles elapsed = 0;
     std::uint64_t probeRounds = 0; ///< Spy probe rounds executed.
+
+    /** Raw error accounting behind the rates, so chunked runs can be
+     *  folded without re-deriving counts from rounded ratios:
+     *  editDistance is the covert mode's Levenshtein distance;
+     *  matches/substitutions/deletions the chasing mode's optimal
+     *  alignment (errorRate = substitutions / (matches +
+     *  substitutions), outOfSyncRate = deletions / sent). */
+    std::size_t editDistance = 0;
+    std::size_t editMatches = 0;
+    std::size_t editSubstitutions = 0;
+    std::size_t editDeletions = 0;
 };
 
 /** Run the fixed-buffer covert channel on an assembled testbed. */
@@ -100,9 +118,13 @@ std::vector<std::size_t> pickMonitoredBuffers(testbed::Testbed &tb,
                                               std::size_t n);
 
 /**
- * Generate the test symbol stream from the 15-bit LFSR.
+ * Generate the test symbol stream from the 15-bit LFSR: stream
+ * positions [offset, offset + count). The stream is a pure function
+ * of (scheme, position), so chunked runs transmit exactly the symbols
+ * of the corresponding monolithic positions.
  */
-std::vector<unsigned> testSymbols(Scheme scheme, std::size_t count);
+std::vector<unsigned> testSymbols(Scheme scheme, std::size_t count,
+                                  std::size_t offset = 0);
 
 } // namespace pktchase::channel
 

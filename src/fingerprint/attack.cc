@@ -87,11 +87,9 @@ FingerprintAttack::captureVisit(std::size_t site, Rng &rng)
     return classes;
 }
 
-FingerprintResult
-FingerprintAttack::evaluate()
+void
+FingerprintAttack::train(Rng &rng)
 {
-    Rng rng(cfg_.seed);
-
     // Offline phase: templates from ground-truth traces of noisy
     // visits (the attacker's own tcpdump captures).
     for (std::size_t site = 0; site < db_.size(); ++site) {
@@ -101,6 +99,27 @@ FingerprintAttack::evaluate()
                                     cfg_.classifier.length));
         }
     }
+}
+
+TrialOutcome
+FingerprintAttack::trial(std::size_t site, Rng &rng)
+{
+    TrialOutcome out;
+    out.site = site;
+    const std::uint64_t rounds_before = probeRounds_;
+    out.predicted = clf_.classify(captureVisit(site, rng));
+    out.probeRounds = probeRounds_ - rounds_before;
+    return out;
+}
+
+FingerprintResult
+FingerprintAttack::evaluate()
+{
+    // One shared stream across training and trials, so the draw
+    // sequence (and every golden pinned to it) is unchanged from the
+    // pre-decomposition monolithic loop.
+    Rng rng(cfg_.seed);
+    train(rng);
 
     FingerprintResult result;
     result.confusion.assign(
@@ -108,11 +127,9 @@ FingerprintAttack::evaluate()
 
     const std::uint64_t rounds_before = probeRounds_;
     for (std::size_t t = 0; t < cfg_.trials; ++t) {
-        const std::size_t site = t % db_.size();
-        const std::vector<unsigned> captured = captureVisit(site, rng);
-        const std::size_t predicted = clf_.classify(captured);
-        ++result.confusion[site][predicted];
-        if (predicted == site)
+        const TrialOutcome o = trial(t % db_.size(), rng);
+        ++result.confusion[o.site][o.predicted];
+        if (o.predicted == o.site)
             ++result.correct;
         ++result.trials;
     }

@@ -60,6 +60,15 @@ struct FingerprintResult
     std::uint64_t probeRounds = 0;
 };
 
+/** One live classification trial (the unit the campaign's sub-cell
+ *  task decomposition schedules). */
+struct TrialOutcome
+{
+    std::size_t site = 0;      ///< Ground-truth site visited.
+    std::size_t predicted = 0; ///< Classifier's answer.
+    std::uint64_t probeRounds = 0; ///< Spy rounds this trial cost.
+};
+
 /**
  * Drives the capture pipeline and the classifier.
  */
@@ -78,6 +87,21 @@ class FingerprintAttack
     static std::vector<unsigned>
     truthClasses(const std::vector<nic::Frame> &frames,
                  std::size_t length);
+
+    /**
+     * Offline phase alone: train templates from ground-truth traces,
+     * consuming FingerprintConfig::trainVisits visits per site from
+     * @p rng. evaluate() == train() + trials() on one shared stream.
+     */
+    void train(Rng &rng);
+
+    /**
+     * One online trial: capture a live visit of @p site with @p rng's
+     * stream and classify it. Requires train() (the classifier needs
+     * templates). Exposed so a campaign task can run exactly one
+     * trial on a private testbed under a task-split seed.
+     */
+    TrialOutcome trial(std::size_t site, Rng &rng);
 
     /** Train templates offline and run the closed-world evaluation. */
     FingerprintResult evaluate();

@@ -27,6 +27,10 @@ statName(Stat s)
         return "cells_stolen";
       case Stat::StealAttempts:
         return "steal_attempts";
+      case Stat::TasksExecuted:
+        return "tasks_executed";
+      case Stat::TasksStolen:
+        return "tasks_stolen";
     }
     panic("obs::statName: unknown Stat");
 }

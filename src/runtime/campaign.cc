@@ -1,6 +1,5 @@
 #include "campaign.hh"
 
-#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -54,9 +53,27 @@ Campaign::run(const std::vector<Scenario> &grid,
             fatal("Campaign: subset must be strictly increasing");
     }
 
+    // The schedulable unit is one (cell, task) pair: monolithic cells
+    // contribute one unit, decomposed cells Scenario::tasks units.
+    // Units are flattened in (cell, task) order so the fabric's
+    // round-robin pre-fill spreads a heavy cell's tasks across
+    // workers from the start.
+    struct TaskUnit
+    {
+        std::size_t slot; ///< Position in subset / results.
+        std::size_t task; ///< Task index within the cell.
+    };
+    std::vector<TaskUnit> units;
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+        const Scenario &sc = grid[subset[k]];
+        validateScenario(sc);
+        for (std::size_t t = 0; t < sc.taskCount(); ++t)
+            units.push_back({k, t});
+    }
+
     unsigned threads = cfg_.threads ? cfg_.threads : defaultThreads();
-    if (threads > subset.size() && !subset.empty())
-        threads = static_cast<unsigned>(subset.size());
+    if (threads > units.size() && !units.empty())
+        threads = static_cast<unsigned>(units.size());
 
     stats_ = CampaignStats{};
     stats_.threadsUsed = threads ? threads : 1;
@@ -65,59 +82,84 @@ Campaign::run(const std::vector<Scenario> &grid,
 
     // Seeding uses the *full-grid* index, so a subset (shard) run
     // produces bit-identical cells to the same positions of an
-    // unsharded run.
-    auto runCell = [&](std::size_t index) {
-        ScenarioContext ctx(index, cfg_.seed);
-        // Cells run start-to-finish on one thread, so the thread-local
-        // counter delta around the run is exactly this cell's work --
-        // independent of which worker ran it or what ran before.
+    // unsharded run. Units run start-to-finish on one thread, so the
+    // thread-local counter delta around the run is exactly this
+    // task's work -- independent of which worker ran it or what ran
+    // before; foldScenarioParts sums the per-task deltas into the
+    // cell's counters.
+    auto runUnit = [&](std::size_t slot, std::size_t task) {
+        const std::size_t index = subset[slot];
+        const Scenario &sc = grid[index];
         const obs::StatSnapshot before = obs::snapshot();
         ScenarioResult r;
-        {
-            const obs::ScopedSpan span(grid[index].name, "cell");
-            r = grid[index].run(ctx);
+        if (sc.decomposed()) {
+            const obs::ScopedSpan span(
+                sc.name + "#" + std::to_string(task), "fabric.task");
+            r = runScenarioTask(sc, index, cfg_.seed, task);
+        } else {
+            const obs::ScopedSpan span(sc.name, "cell");
+            r = runScenarioTask(sc, index, cfg_.seed, task);
         }
         r.counters = (obs::snapshot() - before).toCounters();
-        r.index = index;
-        if (r.name.empty())
-            r.name = grid[index].name;
         return r;
     };
 
-    // subset is strictly increasing, so a result's slot in the output
-    // vector is recoverable by binary search on its full-grid index.
-    auto slotOf = [&subset](std::size_t index) {
-        const auto it =
-            std::lower_bound(subset.begin(), subset.end(), index);
-        if (it == subset.end() || *it != index)
-            panic("Campaign: result index not in subset");
-        return static_cast<std::size_t>(it - subset.begin());
+    // Fold a cell's ordered parts into results[slot]. Driver-side (or
+    // serial): fold is pure, so where it runs cannot matter -- keeping
+    // it off the workers means a cell's fold never competes with
+    // another cell's simulation for the worker's cache.
+    auto finishCell = [&](std::size_t slot,
+                          std::vector<ScenarioResult> &&parts) {
+        results[slot] = foldScenarioParts(grid[subset[slot]],
+                                          subset[slot],
+                                          std::move(parts));
+        if (cfg_.onResult)
+            cfg_.onResult(results[slot]);
     };
 
     if (threads <= 1) {
-        // Serial reference path: same per-cell seeding, trivial merge.
+        // Serial reference path: units in (cell, task) order, same
+        // per-unit seeding and snapshot windows as the parallel path,
+        // trivial merge. The scheduling bump lands between snapshot
+        // windows so per-task deltas stay scheduling-free.
         for (std::size_t k = 0; k < subset.size(); ++k) {
-            results[k] = runCell(subset[k]);
-            if (cfg_.onResult)
-                cfg_.onResult(results[k]);
+            const std::size_t count = grid[subset[k]].taskCount();
+            std::vector<ScenarioResult> parts;
+            parts.reserve(count);
+            for (std::size_t t = 0; t < count; ++t) {
+                parts.push_back(runUnit(k, t));
+                obs::bump(obs::Stat::TasksExecuted);
+            }
+            finishCell(k, std::move(parts));
         }
         stats_.scenariosRun = subset.size();
+        stats_.tasksRun = units.size();
         stats_.wallSeconds = std::chrono::duration<double>(
             std::chrono::steady_clock::now() - t0).count();
         return results;
     }
 
-    // The work-stealing fabric schedules subset *positions*: position
-    // k seeds worker k % N's queue (static-shard placement), and idle
-    // workers steal the tail of skewed grids instead of spinning.
-    StealFabric fabric(subset.size(), threads, cfg_.stealQueueCapacity);
+    // The work-stealing fabric schedules unit indices: unit u seeds
+    // worker u % N's queue (static-shard placement), and idle workers
+    // steal the tail of skewed grids instead of spinning. With every
+    // cell monolithic this degenerates to the old cell-granular
+    // schedule; a decomposed heavy cell's tasks spread across workers,
+    // which is what breaks the tail-cell makespan bound.
+    StealFabric fabric(units.size(), threads, cfg_.stealQueueCapacity);
 
-    // One SPSC result ring per worker: the worker is the only
-    // producer, this (driver) thread the only consumer.
-    std::vector<std::unique_ptr<SpscRing<ScenarioResult>>> rings;
+    // One SPSC result ring per worker carrying (slot, task, partial)
+    // envelopes: the worker is the only producer, this (driver)
+    // thread the only consumer.
+    struct TaskEnvelope
+    {
+        std::size_t slot = 0;
+        std::size_t task = 0;
+        ScenarioResult result;
+    };
+    std::vector<std::unique_ptr<SpscRing<TaskEnvelope>>> rings;
     rings.reserve(threads);
     for (unsigned w = 0; w < threads; ++w)
-        rings.push_back(std::make_unique<SpscRing<ScenarioResult>>(
+        rings.push_back(std::make_unique<SpscRing<TaskEnvelope>>(
             cfg_.ringCapacity));
 
     // Per-worker stats shards, published by the join below.
@@ -128,12 +170,21 @@ Campaign::run(const std::vector<Scenario> &grid,
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
             obs::attachWorkerThread(w);
-            std::size_t position = 0;
-            while (fabric.next(w, position)) {
-                ScenarioResult r = runCell(subset[position]);
-                while (!rings[w]->tryPush(std::move(r))) {
+            std::size_t u = 0;
+            bool stolen = false;
+            while (fabric.next(w, u, stolen)) {
+                TaskEnvelope env;
+                env.slot = units[u].slot;
+                env.task = units[u].task;
+                env.result = runUnit(env.slot, env.task);
+                // Scheduling counters land between the per-unit
+                // snapshot windows, so per-task deltas report 0.
+                obs::bump(obs::Stat::TasksExecuted);
+                if (stolen)
+                    obs::bump(obs::Stat::TasksStolen);
+                while (!rings[w]->tryPush(std::move(env))) {
                     // Ring full: the driver is behind. Back off; the
-                    // result stays intact because a failed tryPush
+                    // envelope stays intact because a failed tryPush
                     // never moves from its argument.
                     ++fullRetries[w];
                     std::this_thread::yield();
@@ -143,17 +194,33 @@ Campaign::run(const std::vector<Scenario> &grid,
         });
     }
 
-    // Drain rings until every cell has reported.
-    std::size_t collected = 0;
-    while (collected < subset.size()) {
+    // Drain rings, accumulating each cell's parts by task index and
+    // folding as soon as its last task lands, until every cell has
+    // reported. Completion order is scheduling-dependent; the fold
+    // input order (task index) and the merge order (slot) are not.
+    struct CellAccum
+    {
+        std::vector<ScenarioResult> parts;
+        std::size_t remaining = 0;
+    };
+    std::vector<CellAccum> accum(subset.size());
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+        accum[k].remaining = grid[subset[k]].taskCount();
+        accum[k].parts.resize(accum[k].remaining);
+    }
+
+    std::size_t collectedCells = 0;
+    while (collectedCells < subset.size()) {
         bool progress = false;
         for (unsigned w = 0; w < threads; ++w) {
-            ScenarioResult r;
-            while (rings[w]->tryPop(r)) {
-                if (cfg_.onResult)
-                    cfg_.onResult(r);
-                results[slotOf(r.index)] = std::move(r);
-                ++collected;
+            TaskEnvelope env;
+            while (rings[w]->tryPop(env)) {
+                CellAccum &a = accum[env.slot];
+                a.parts[env.task] = std::move(env.result);
+                if (--a.remaining == 0) {
+                    finishCell(env.slot, std::move(a.parts));
+                    ++collectedCells;
+                }
                 progress = true;
             }
         }
@@ -171,9 +238,10 @@ Campaign::run(const std::vector<Scenario> &grid,
         t.join();
 
     stats_.scenariosRun = subset.size();
+    stats_.tasksRun = units.size();
     for (std::uint64_t retries : fullRetries)
         stats_.ringFullRetries += retries;
-    stats_.cellsStolen = fabric.cellsStolen();
+    stats_.tasksStolen = fabric.cellsStolen();
     stats_.stealAttempts = fabric.stealAttempts();
     stats_.wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0).count();

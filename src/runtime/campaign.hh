@@ -4,17 +4,24 @@
  * threads on the work-stealing fabric, hand results back over
  * lock-free SPSC rings, merge deterministically.
  *
- * Scheduling is the StealFabric's: cell i seeds worker i % N's queue
- * (the old static-shard placement), but an idle worker steals from
- * loaded neighbours instead of exiting, so one slow cell no longer
- * serializes a skewed grid's tail. Each worker pushes finished
- * ScenarioResults into its own SpscRing, and the driver thread polls
- * the rings and places each result at its grid index. Because every
- * cell's randomness derives only from (campaign seed, grid index) --
- * never from the worker that happened to run it -- and the merge is by
- * index, a run with N threads is bit-identical to threads=1 whether or
- * not any cell was stolen; the determinism tests assert that
- * byte-for-byte on the formatted report.
+ * The schedulable unit is one (cell, task) pair: a monolithic cell is
+ * one unit, a cell on the sub-cell decomposition contract
+ * (Scenario::tasks/runTask/fold, see scenario.hh) is Scenario::tasks
+ * units -- so a single heavy trial-loop cell spreads across workers
+ * instead of bounding the makespan. Scheduling is the StealFabric's:
+ * unit u seeds worker u % N's queue (the old static-shard placement),
+ * but an idle worker steals from loaded neighbours instead of
+ * exiting. Each worker pushes finished task results into its own
+ * SpscRing as (slot, task, partial) envelopes; the driver thread
+ * polls the rings, accumulates each cell's parts by task index, folds
+ * a cell the moment its last task lands, and places the folded result
+ * at its grid index. Because every task's randomness derives only
+ * from (campaign seed, grid index, task index) -- never from the
+ * worker that happened to run it -- the fold input is ordered by task
+ * index, and the merge is by grid index, a run with N threads is
+ * bit-identical to threads=1 whether or not any unit was stolen; the
+ * determinism tests assert that byte-for-byte on the formatted
+ * report.
  *
  * A campaign can also run a *subset* of a grid (the multi-process
  * shard layer's slice, see runtime/fabric/shard.hh): cells keep their
@@ -71,11 +78,15 @@ struct CampaignConfig
 struct CampaignStats
 {
     std::size_t scenariosRun = 0;
+    /** Schedulable (cell, task) units run; == scenariosRun when no
+     *  cell decomposes. */
+    std::size_t tasksRun = 0;
     unsigned threadsUsed = 0;
     /** Producer-side full-ring retries (backpressure indicator). */
     std::uint64_t ringFullRetries = 0;
-    /** Cells a worker stole from another worker's queue. */
-    std::uint64_t cellsStolen = 0;
+    /** Units a worker stole from another worker's queue (task
+     *  granularity under the decomposition contract). */
+    std::uint64_t tasksStolen = 0;
     /** Steal probes of foreign queues, successful or not. */
     std::uint64_t stealAttempts = 0;
     /** Wall-clock seconds for the whole grid (not deterministic). */

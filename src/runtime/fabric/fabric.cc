@@ -8,7 +8,8 @@ namespace pktchase::runtime
 
 StealFabric::StealFabric(std::size_t items, unsigned workers,
                          std::size_t queueCapacity)
-    : workers_(workers ? workers : 1), counters_(workers_)
+    : workers_(workers ? workers : 1), items_(items),
+      counters_(workers_)
 {
     if (queueCapacity == 0)
         fatal("StealFabric requires a nonzero queue capacity");
@@ -40,9 +41,17 @@ StealFabric::StealFabric(std::size_t items, unsigned workers,
 bool
 StealFabric::next(unsigned worker, std::size_t &item)
 {
+    bool stolen = false;
+    return next(worker, item, stolen);
+}
+
+bool
+StealFabric::next(unsigned worker, std::size_t &item, bool &stolen)
+{
     if (worker >= workers_)
         panic("StealFabric: worker id out of range");
     WorkerCounters &mine = counters_[worker];
+    stolen = false;
 
     // 1. Own queue: the common, contention-free case.
     if (queues_[worker]->tryPop(item)) {
@@ -68,6 +77,7 @@ StealFabric::next(unsigned worker, std::size_t &item)
             mine.executed.fetch_add(1, std::memory_order_relaxed);
             mine.stolen.fetch_add(1, std::memory_order_relaxed);
             obs::bump(obs::Stat::CellsStolen);
+            stolen = true;
             return true;
         }
     }
@@ -91,6 +101,7 @@ StealFabric::status() const
     for (unsigned w = 0; w < workers_; ++w)
         s.queueDepth.push_back(queues_[w]->approxSize());
     s.injectionDepth = injection_->approxSize();
+    s.itemsTotal = items_;
     for (const WorkerCounters &c : counters_) {
         s.cellsExecuted += c.executed.load(std::memory_order_relaxed);
         s.cellsStolen += c.stolen.load(std::memory_order_relaxed);

@@ -52,9 +52,11 @@ struct FabricStatus
     std::vector<std::size_t> queueDepth;
     /** Items waiting in the shared injection queue. */
     std::size_t injectionDepth = 0;
-    /** Cells executed so far, across all workers. */
+    /** Items the fabric was constructed with. */
+    std::size_t itemsTotal = 0;
+    /** Items executed so far, across all workers. */
     std::uint64_t cellsExecuted = 0;
-    /** Cells a worker took from another worker's queue. */
+    /** Items a worker took from another worker's queue. */
     std::uint64_t cellsStolen = 0;
     /** tryPop attempts on other workers' queues (hits + misses). */
     std::uint64_t stealAttempts = 0;
@@ -91,6 +93,13 @@ class StealFabric
      */
     bool next(unsigned worker, std::size_t &item);
 
+    /**
+     * As next(), and reports in @p stolen whether the item came off
+     * another worker's queue (the caller's task-level steal
+     * accounting; injection-queue spill does not count as a steal).
+     */
+    bool next(unsigned worker, std::size_t &item, bool &stolen);
+
     unsigned workers() const { return workers_; }
 
     /** Sample queues and counters (driver-side, for progress). */
@@ -118,6 +127,7 @@ class StealFabric
     };
 
     const unsigned workers_;
+    const std::size_t items_;
     std::vector<std::unique_ptr<MpmcRing<std::size_t>>> queues_;
     std::unique_ptr<MpmcRing<std::size_t>> injection_;
     std::vector<WorkerCounters> counters_;

@@ -47,6 +47,110 @@ ScenarioResult::has(const std::string &key) const
     return false;
 }
 
+const std::vector<double> &
+ScenarioResult::seriesOf(const std::string &key) const
+{
+    for (const auto &kv : series)
+        if (kv.first == key)
+            return kv.second;
+    fatal("ScenarioResult '" + name + "' has no series '" + key + "'");
+}
+
+void
+validateScenario(const Scenario &s)
+{
+    if (s.run && s.runTask)
+        fatal("Scenario '" + s.name +
+              "' sets both run and runTask (ambiguous)");
+    if (!s.run && !s.runTask)
+        fatal("Scenario '" + s.name + "' has no run function");
+    if (s.runTask && !s.fold)
+        fatal("Scenario '" + s.name + "' decomposes without a fold");
+    if (s.tasks == 0)
+        fatal("Scenario '" + s.name + "' reports zero tasks");
+    if (s.tasks > 1 && !s.runTask)
+        fatal("Scenario '" + s.name +
+              "' reports tasks > 1 without runTask");
+}
+
+ScenarioResult
+runScenarioTask(const Scenario &s, std::size_t index,
+                std::uint64_t campaignSeed, std::size_t task)
+{
+    if (!s.decomposed()) {
+        if (task != 0)
+            fatal("Scenario '" + s.name +
+                  "': task index on a monolithic cell");
+        ScenarioContext ctx(index, campaignSeed);
+        return s.run(ctx);
+    }
+    if (task >= s.tasks)
+        fatal("Scenario '" + s.name + "': task index out of range");
+    TaskContext ctx(index, campaignSeed, task, s.tasks);
+    return s.runTask(ctx);
+}
+
+namespace
+{
+
+/**
+ * Element-wise sum of the parts' counter vectors (all empty, or all
+ * the full enum-ordered shape obs::StatSnapshot::toCounters emits).
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+sumPartCounters(const std::vector<ScenarioResult> &parts)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> total;
+    for (const ScenarioResult &p : parts) {
+        if (p.counters.empty())
+            continue;
+        if (total.empty()) {
+            total = p.counters;
+            continue;
+        }
+        if (p.counters.size() != total.size())
+            fatal("foldScenarioParts: task counter shapes differ");
+        for (std::size_t i = 0; i < total.size(); ++i)
+            total[i].second += p.counters[i].second;
+    }
+    return total;
+}
+
+} // namespace
+
+ScenarioResult
+foldScenarioParts(const Scenario &s, std::size_t index,
+                  std::vector<ScenarioResult> &&parts)
+{
+    if (parts.size() != s.taskCount())
+        fatal("foldScenarioParts: '" + s.name + "' expected " +
+              std::to_string(s.taskCount()) + " parts, got " +
+              std::to_string(parts.size()));
+    ScenarioResult out;
+    if (!s.decomposed()) {
+        out = std::move(parts[0]);
+    } else {
+        out = s.fold(parts);
+        out.counters = sumPartCounters(parts);
+    }
+    out.index = index;
+    if (out.name.empty())
+        out.name = s.name;
+    return out;
+}
+
+ScenarioResult
+runScenarioMonolithic(const Scenario &s, std::size_t index,
+                      std::uint64_t campaignSeed)
+{
+    validateScenario(s);
+    std::vector<ScenarioResult> parts;
+    parts.reserve(s.taskCount());
+    for (std::size_t t = 0; t < s.taskCount(); ++t)
+        parts.push_back(runScenarioTask(s, index, campaignSeed, t));
+    return foldScenarioParts(s, index, std::move(parts));
+}
+
 std::string
 formatReport(const std::vector<ScenarioResult> &results)
 {

@@ -26,8 +26,9 @@ namespace
 class ProgressMeter
 {
   public:
-    explicit ProgressMeter(std::size_t total)
-        : total_(total), start_(std::chrono::steady_clock::now())
+    ProgressMeter(std::size_t total, std::size_t taskTotal)
+        : total_(total), taskTotal_(taskTotal),
+          start_(std::chrono::steady_clock::now())
     {
     }
 
@@ -67,6 +68,13 @@ class ProgressMeter
             std::chrono::duration<double>(now - start_).count();
         std::string line = "\r  [" + std::to_string(done_) + "/" +
                            std::to_string(total_) + " cells, ";
+        // Task depth: only worth a column when some cell decomposes
+        // into sub-cell tasks (taskTotal > cellTotal). Done-counts
+        // come from the fabric sample, so serial runs (no fabric)
+        // skip it too.
+        if (taskTotal_ > total_ && haveFabric_)
+            line += std::to_string(fabric_.cellsExecuted) + "/" +
+                    std::to_string(taskTotal_) + " tasks, ";
         char buf[48];
         std::snprintf(buf, sizeof(buf), "%.1f s", elapsed);
         line += buf;
@@ -91,6 +99,7 @@ class ProgressMeter
     }
 
     const std::size_t total_;
+    const std::size_t taskTotal_;
     std::size_t done_ = 0;
     FabricStatus fabric_;
     bool haveFabric_ = false;
@@ -110,10 +119,18 @@ sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
 
     const std::size_t cells =
         opt.subset.empty() ? grid.size() : opt.subset.size();
+    std::size_t tasks = 0;
+    if (opt.subset.empty()) {
+        for (const Scenario &s : grid)
+            tasks += s.taskCount();
+    } else {
+        for (std::size_t index : opt.subset)
+            tasks += grid[index].taskCount();
+    }
 
     std::unique_ptr<ProgressMeter> meter;
     if (!opt.quiet && isatty(fileno(stderr))) {
-        meter = std::make_unique<ProgressMeter>(cells);
+        meter = std::make_unique<ProgressMeter>(cells, tasks);
         cfg.onResult = [&meter](const ScenarioResult &) {
             meter->onCell();
         };
@@ -130,12 +147,13 @@ sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
 
     if (opt.verbose) {
         const CampaignStats &s = campaign.stats();
-        std::printf("  [campaign: %zu cells on %u threads, seed %llu, "
-                    "%.2f s, %llu stolen/%llu steal attempts]\n\n",
-                    s.scenariosRun, s.threadsUsed,
+        std::printf("  [campaign: %zu cells (%zu tasks) on %u threads, "
+                    "seed %llu, %.2f s, %llu stolen/%llu steal "
+                    "attempts]\n\n",
+                    s.scenariosRun, s.tasksRun, s.threadsUsed,
                     static_cast<unsigned long long>(cfg.seed),
                     s.wallSeconds,
-                    static_cast<unsigned long long>(s.cellsStolen),
+                    static_cast<unsigned long long>(s.tasksStolen),
                     static_cast<unsigned long long>(s.stealAttempts));
     }
     return results;

@@ -99,6 +99,7 @@ fig20Cell(const defense::Cell &cell, std::uint64_t seed)
 std::vector<runtime::Scenario>
 fig11CovertGrid(std::size_t symbols)
 {
+    const std::size_t chunks = symbols >= 4 ? 4 : 1;
     std::vector<runtime::Scenario> grid;
     for (channel::Scheme scheme :
          {channel::Scheme::Binary, channel::Scheme::Ternary}) {
@@ -108,30 +109,78 @@ fig11CovertGrid(std::size_t symbols)
             char name[64];
             std::snprintf(name, sizeof(name), "fig11/%s/%.0fkhz", enc,
                           khz);
-            grid.push_back({name,
-                [scheme, khz, symbols](runtime::ScenarioContext &ctx) {
-                    testbed::Testbed tb(testbed::TestbedConfig{});
-                    channel::ChannelRunConfig cfg;
-                    cfg.scheme = scheme;
-                    cfg.probeRateHz = khz * 1000.0;
-                    cfg.nSymbols = symbols;
-                    // Background cache noise from unrelated processes:
-                    // what makes long probe intervals error-prone
-                    // (Sec. IV-b). Every cell sees the same streams.
-                    cfg.cacheNoiseHz = 20000.0;
-                    cfg.cacheNoiseBatch = 48;
-                    cfg.seed = runtime::splitSeed(
-                        ctx.campaignSeed, runtime::axisSalt(0x11));
-                    const channel::ChannelMeasurement m =
-                        channel::runCovertChannel(tb, cfg);
-                    runtime::ScenarioResult r;
-                    r.set("bandwidth_bps", m.bandwidthBps);
-                    r.set("error_rate", m.errorRate);
-                    r.set("received", static_cast<double>(m.received));
-                    r.set("probe_rounds",
-                          static_cast<double>(m.probeRounds));
-                    return r;
-                }});
+            runtime::Scenario sc;
+            sc.name = name;
+            sc.tasks = chunks;
+            // Task t transmits LFSR stream positions
+            // [t*per, t*per + count): the symbol stream is a pure
+            // function of position, so chunked tasks cover exactly
+            // the monolithic run's symbols.
+            sc.runTask = [scheme, khz, symbols,
+                          chunks](runtime::TaskContext &t) {
+                const std::size_t per = symbols / chunks;
+                const std::size_t offset = t.task * per;
+                const std::size_t count = (t.task + 1 == chunks)
+                    ? symbols - offset : per;
+                testbed::Testbed tb(testbed::TestbedConfig{});
+                channel::ChannelRunConfig cfg;
+                cfg.scheme = scheme;
+                cfg.probeRateHz = khz * 1000.0;
+                cfg.nSymbols = count;
+                cfg.symbolOffset = offset;
+                // Background cache noise from unrelated processes:
+                // what makes long probe intervals error-prone
+                // (Sec. IV-b). The axis salt pins chunk t's noise and
+                // jitter streams across every cell, so cells are
+                // still compared under identical interference.
+                cfg.cacheNoiseHz = 20000.0;
+                cfg.cacheNoiseBatch = 48;
+                cfg.seed = runtime::splitSeed(
+                    runtime::splitSeed(t.campaignSeed,
+                                       runtime::axisSalt(0x11)),
+                    t.task);
+                const channel::ChannelMeasurement m =
+                    channel::runCovertChannel(tb, cfg);
+                runtime::ScenarioResult r;
+                r.set("sent", static_cast<double>(m.sent));
+                r.set("received", static_cast<double>(m.received));
+                r.set("edit_distance",
+                      static_cast<double>(m.editDistance));
+                // Per-chunk on-wire span with the same end-correction
+                // the monolithic run applies (n symbols span n-1
+                // inter-arrival gaps).
+                double span = 0.0;
+                if (m.elapsed > 0 && m.sent > 1) {
+                    span = cyclesToSeconds(m.elapsed) *
+                        static_cast<double>(m.sent) /
+                        static_cast<double>(m.sent - 1);
+                }
+                r.set("span_seconds", span);
+                r.set("probe_rounds",
+                      static_cast<double>(m.probeRounds));
+                return r;
+            };
+            sc.fold = [scheme](
+                const std::vector<runtime::ScenarioResult> &parts) {
+                double sent = 0, received = 0, edit = 0;
+                double span = 0, rounds = 0;
+                for (const runtime::ScenarioResult &p : parts) {
+                    sent += p.value("sent");
+                    received += p.value("received");
+                    edit += p.value("edit_distance");
+                    span += p.value("span_seconds");
+                    rounds += p.value("probe_rounds");
+                }
+                runtime::ScenarioResult r;
+                r.set("bandwidth_bps", span > 0.0
+                    ? channel::bitsPerSymbol(scheme) * sent / span
+                    : 0.0);
+                r.set("error_rate", sent > 0.0 ? edit / sent : 0.0);
+                r.set("received", received);
+                r.set("probe_rounds", rounds);
+                return r;
+            };
+            grid.push_back(std::move(sc));
         }
     }
     return grid;
@@ -140,30 +189,71 @@ fig11CovertGrid(std::size_t symbols)
 std::vector<runtime::Scenario>
 fig13ChannelGrid(std::size_t symbols)
 {
+    const std::size_t chunks = symbols >= 4 ? 4 : 1;
     std::vector<runtime::Scenario> grid;
     for (std::size_t queues : attackQueueCounts()) {
         for (double bps : {80000.0, 320000.0, 640000.0}) {
             const std::string nic_spec = defense::nicSpecOf(queues);
-            grid.push_back({fig13CellName(bps, queues),
-                [bps, nic_spec, symbols](runtime::ScenarioContext &ctx) {
-                    testbed::TestbedConfig tcfg;
-                    tcfg.nicSpec = nic_spec;
-                    testbed::Testbed tb(tcfg);
-                    channel::ChasingChannelConfig cfg;
-                    cfg.targetBandwidthBps = bps;
-                    cfg.nSymbols = symbols;
-                    cfg.seed = runtime::splitSeed(
-                        ctx.campaignSeed, runtime::axisSalt(0x13));
-                    const channel::ChannelMeasurement m =
-                        channel::runChasingChannel(tb, cfg);
-                    runtime::ScenarioResult r;
-                    r.set("error_rate", m.errorRate);
-                    r.set("out_of_sync_rate", m.outOfSyncRate);
-                    r.set("received", static_cast<double>(m.received));
-                    r.set("probe_rounds",
-                          static_cast<double>(m.probeRounds));
-                    return r;
-                }});
+            runtime::Scenario sc;
+            sc.name = fig13CellName(bps, queues);
+            sc.tasks = chunks;
+            sc.runTask = [bps, nic_spec, symbols,
+                          chunks](runtime::TaskContext &t) {
+                const std::size_t per = symbols / chunks;
+                const std::size_t offset = t.task * per;
+                const std::size_t count = (t.task + 1 == chunks)
+                    ? symbols - offset : per;
+                testbed::TestbedConfig tcfg;
+                tcfg.nicSpec = nic_spec;
+                testbed::Testbed tb(tcfg);
+                channel::ChasingChannelConfig cfg;
+                cfg.targetBandwidthBps = bps;
+                cfg.nSymbols = count;
+                cfg.symbolOffset = offset;
+                cfg.seed = runtime::splitSeed(
+                    runtime::splitSeed(t.campaignSeed,
+                                       runtime::axisSalt(0x13)),
+                    t.task);
+                const channel::ChannelMeasurement m =
+                    channel::runChasingChannel(tb, cfg);
+                // Raw alignment counts, not rates: the fold
+                // re-derives the paper's error accounting from the
+                // summed counts, so chunking loses no precision.
+                runtime::ScenarioResult r;
+                r.set("sent", static_cast<double>(m.sent));
+                r.set("received", static_cast<double>(m.received));
+                r.set("matches",
+                      static_cast<double>(m.editMatches));
+                r.set("substitutions",
+                      static_cast<double>(m.editSubstitutions));
+                r.set("deletions",
+                      static_cast<double>(m.editDeletions));
+                r.set("probe_rounds",
+                      static_cast<double>(m.probeRounds));
+                return r;
+            };
+            sc.fold = [](
+                const std::vector<runtime::ScenarioResult> &parts) {
+                double sent = 0, received = 0, matches = 0;
+                double subs = 0, dels = 0, rounds = 0;
+                for (const runtime::ScenarioResult &p : parts) {
+                    sent += p.value("sent");
+                    received += p.value("received");
+                    matches += p.value("matches");
+                    subs += p.value("substitutions");
+                    dels += p.value("deletions");
+                    rounds += p.value("probe_rounds");
+                }
+                runtime::ScenarioResult r;
+                const double synced = matches + subs;
+                r.set("error_rate", synced > 0.0 ? subs / synced : 1.0);
+                r.set("out_of_sync_rate",
+                      sent > 0.0 ? dels / sent : 0.0);
+                r.set("received", received);
+                r.set("probe_rounds", rounds);
+                return r;
+            };
+            grid.push_back(std::move(sc));
         }
     }
     return grid;
@@ -174,21 +264,58 @@ fig20FingerprintGrid()
 {
     std::vector<runtime::Scenario> grid;
     for (const defense::Cell &cell : fig20Cells()) {
-        grid.push_back({"fig20/" + cell.name(),
-            [cell](runtime::ScenarioContext &ctx) {
-                // One shared visit/jitter stream: every defense cell
-                // fingerprints the same page loads.
-                const fingerprint::FingerprintResult res = fig20Cell(
-                    cell, runtime::splitSeed(ctx.campaignSeed,
-                                             runtime::axisSalt(0x20)));
-                runtime::ScenarioResult r;
-                r.set("accuracy", res.accuracy);
-                r.set("correct", static_cast<double>(res.correct));
-                r.set("trials", static_cast<double>(res.trials));
-                r.set("probe_rounds",
-                      static_cast<double>(res.probeRounds));
-                return r;
-            }});
+        runtime::Scenario sc;
+        sc.name = "fig20/" + cell.name();
+        // One task per classification trial: the heaviest cells stop
+        // bounding the campaign makespan, and a stolen task costs one
+        // trial, not twenty.
+        sc.tasks = fig20Config(0).trials;
+        sc.runTask = [cell](runtime::TaskContext &t) {
+            const std::uint64_t axis = runtime::splitSeed(
+                t.campaignSeed, runtime::axisSalt(0x20));
+            testbed::TestbedConfig tcfg;
+            tcfg.ringDefense = cell.ring;
+            tcfg.cacheDefense = cell.cache;
+            tcfg.nicSpec = cell.nic;
+            testbed::Testbed tb(tcfg);
+            const fingerprint::WebsiteDb db = fig20Db();
+            fingerprint::FingerprintAttack atk(tb, db,
+                                               fig20Config(axis));
+            // Training is pure template-building from ground truth
+            // (no simulation), so repeating it per task is cheap, and
+            // the axis-pinned stream gives every task -- and every
+            // defense cell -- identical templates.
+            Rng train_rng(axis);
+            atk.train(train_rng);
+            // The trial stream is split per task off the shared axis
+            // (not off the cell seed), so every defense cell still
+            // fingerprints the same page loads.
+            Rng trial_rng(runtime::splitSeed(axis, t.task));
+            const fingerprint::TrialOutcome o =
+                atk.trial(t.task % db.size(), trial_rng);
+            runtime::ScenarioResult r;
+            r.set("site", static_cast<double>(o.site));
+            r.set("predicted", static_cast<double>(o.predicted));
+            r.set("probe_rounds", static_cast<double>(o.probeRounds));
+            return r;
+        };
+        sc.fold = [](
+            const std::vector<runtime::ScenarioResult> &parts) {
+            double correct = 0, rounds = 0;
+            for (const runtime::ScenarioResult &p : parts) {
+                if (p.value("site") == p.value("predicted"))
+                    correct += 1.0;
+                rounds += p.value("probe_rounds");
+            }
+            runtime::ScenarioResult r;
+            const double trials = static_cast<double>(parts.size());
+            r.set("accuracy", trials > 0.0 ? correct / trials : 0.0);
+            r.set("correct", correct);
+            r.set("trials", trials);
+            r.set("probe_rounds", rounds);
+            return r;
+        };
+        grid.push_back(std::move(sc));
     }
     return grid;
 }

@@ -19,8 +19,17 @@
  * Every cell assembles a private Testbed and draws randomness only
  * from seeds split off the campaign seed, so the grids inherit the
  * campaign determinism contract (threads=N bit-identical to serial).
- * The fig20 queues:1 no-defense cell reproduces the pre-refactor
- * fingerprint attack bit-identically (tests/probe_golden_test.cc).
+ *
+ * All three grids opt into the sub-cell task decomposition contract
+ * (src/runtime/scenario.hh): fig20 cells split into one task per
+ * classification trial; fig11/fig13 cells split the LFSR symbol
+ * stream into four chunks, each task transmitting its chunk's pinned
+ * stream positions on a private testbed. Each task ships raw counts
+ * (sites predicted, edit-alignment operations, on-wire spans) and the
+ * pure fold re-derives the cell's rate metrics, so the folded report
+ * carries the same keys in the same order as the monolithic cells
+ * did, and threads=N == threads=1 == runScenarioMonolithic
+ * (tests/task_golden_test.cc pins both figures).
  */
 
 #ifndef PKTCHASE_WORKLOAD_ATTACK_EVAL_HH

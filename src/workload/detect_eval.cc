@@ -98,6 +98,62 @@ alarmRate(const DetectionTrace &t, std::uint64_t from_epoch)
         static_cast<double>(n) : 0.0;
 }
 
+/**
+ * Pack a detection trace into a task partial: the per-epoch score
+ * trace as series (never serialized into reports), so the cell's fold
+ * can recompute AUC/TPR/FPR from the exact doubles the monolithic
+ * twin-run arithmetic would have seen.
+ */
+runtime::ScenarioResult
+traceToPartial(const DetectionTrace &t)
+{
+    std::vector<double> epoch, score, alarm;
+    epoch.reserve(t.scores.size());
+    score.reserve(t.scores.size());
+    alarm.reserve(t.scores.size());
+    for (const detect::Score &s : t.scores) {
+        epoch.push_back(static_cast<double>(s.epoch));
+        score.push_back(s.score);
+        alarm.push_back(s.alarm ? 1.0 : 0.0);
+    }
+    runtime::ScenarioResult r;
+    r.setSeries("epoch", std::move(epoch));
+    r.setSeries("score", std::move(score));
+    r.setSeries("alarm", std::move(alarm));
+    return r;
+}
+
+/** scoreValues() over a task partial's series. */
+std::vector<double>
+seriesScores(const runtime::ScenarioResult &p, double from_epoch)
+{
+    const std::vector<double> &epoch = p.seriesOf("epoch");
+    const std::vector<double> &score = p.seriesOf("score");
+    std::vector<double> out;
+    for (std::size_t i = 0; i < epoch.size(); ++i)
+        if (epoch[i] >= from_epoch)
+            out.push_back(score[i]);
+    return out;
+}
+
+/** alarmRate() over a task partial's series. */
+double
+seriesAlarmRate(const runtime::ScenarioResult &p, double from_epoch)
+{
+    const std::vector<double> &epoch = p.seriesOf("epoch");
+    const std::vector<double> &alarm = p.seriesOf("alarm");
+    std::uint64_t n = 0, alarms = 0;
+    for (std::size_t i = 0; i < epoch.size(); ++i) {
+        if (epoch[i] < from_epoch)
+            continue;
+        ++n;
+        if (alarm[i] != 0.0)
+            ++alarms;
+    }
+    return n > 0 ? static_cast<double>(alarms) /
+        static_cast<double>(n) : 0.0;
+}
+
 /** "figD1/cadence/8khz" (+ "+nic.queues:N" off the default). */
 std::string
 figD1CellName(const std::string &detector, double rate_hz,
@@ -214,36 +270,50 @@ figD1DetectionGrid()
     for (const std::string &det : detect::detectorNames()) {
         for (double rate : figD1ProbeRates()) {
             for (std::size_t q : figD1QueueCounts()) {
-                grid.push_back({figD1CellName(det, rate, q),
-                    [det, rate, q](runtime::ScenarioContext &ctx) {
-                        // All cells share one traffic stream, so
-                        // detectors and rates are compared under
-                        // identical load.
-                        const std::uint64_t seed = runtime::splitSeed(
-                            ctx.campaignSeed, runtime::axisSalt(0xD1));
-                        const DetectionTrace atk =
-                            runDetectionAttack(det, rate, q, seed);
-                        const DetectionTrace ben =
-                            runDetectionBenign(det, q, seed);
-                        // Positives: attack-run epochs after the
-                        // onset (plus a short-window settle).
-                        // Negatives: the benign twin past warmup.
-                        const std::uint64_t onset_epoch =
-                            kAttackOnset / kDetectEpochCycles + 8;
-                        const auto pos = scoreValues(atk, onset_epoch);
-                        const auto neg =
-                            scoreValues(ben, kDetectWarmupEpochs);
-                        runtime::ScenarioResult r;
-                        r.set("auc", detect::aucScore(pos, neg));
-                        r.set("tpr", alarmRate(atk, onset_epoch));
-                        r.set("fpr",
-                              alarmRate(ben, kDetectWarmupEpochs));
-                        r.set("attack_epochs",
-                              static_cast<double>(pos.size()));
-                        r.set("benign_epochs",
-                              static_cast<double>(neg.size()));
-                        return r;
-                    }});
+                // The matched twins are two independent simulations
+                // that only meet in the final ROC arithmetic -- a
+                // natural K=2 decomposition. Task 0 runs the attack
+                // twin, task 1 the benign twin; both draw the same
+                // axis-pinned traffic seed the monolithic cell used,
+                // so the folded metrics are the exact doubles the
+                // twin-in-sequence run produced.
+                runtime::Scenario sc;
+                sc.name = figD1CellName(det, rate, q);
+                sc.tasks = 2;
+                sc.runTask = [det, rate, q](runtime::TaskContext &t) {
+                    // All cells share one traffic stream, so
+                    // detectors and rates are compared under
+                    // identical load.
+                    const std::uint64_t seed = runtime::splitSeed(
+                        t.campaignSeed, runtime::axisSalt(0xD1));
+                    return traceToPartial(t.task == 0
+                        ? runDetectionAttack(det, rate, q, seed)
+                        : runDetectionBenign(det, q, seed));
+                };
+                sc.fold = [](
+                    const std::vector<runtime::ScenarioResult> &parts) {
+                    const runtime::ScenarioResult &atk = parts[0];
+                    const runtime::ScenarioResult &ben = parts[1];
+                    // Positives: attack-run epochs after the onset
+                    // (plus a short-window settle). Negatives: the
+                    // benign twin past warmup.
+                    const double onset_epoch = static_cast<double>(
+                        kAttackOnset / kDetectEpochCycles + 8);
+                    const double warmup =
+                        static_cast<double>(kDetectWarmupEpochs);
+                    const auto pos = seriesScores(atk, onset_epoch);
+                    const auto neg = seriesScores(ben, warmup);
+                    runtime::ScenarioResult r;
+                    r.set("auc", detect::aucScore(pos, neg));
+                    r.set("tpr", seriesAlarmRate(atk, onset_epoch));
+                    r.set("fpr", seriesAlarmRate(ben, warmup));
+                    r.set("attack_epochs",
+                          static_cast<double>(pos.size()));
+                    r.set("benign_epochs",
+                          static_cast<double>(neg.size()));
+                    return r;
+                };
+                grid.push_back(std::move(sc));
             }
         }
     }

@@ -103,14 +103,18 @@ TEST(ProbeGolden, FingerprintConfusionMatrixBitIdentical)
 
 TEST(ProbeGolden, Fig20GridCellReproducesGoldenAccuracy)
 {
-    // The same cell through the scenario-grid path: the refactor's
-    // acceptance gate (fig20 queues:1 no-defense == pre-refactor).
+    // The same cell through the scenario-grid path, now decomposed
+    // into one task per trial: the monolithic reference (serial task
+    // loop + fold) must still find every trial classifiable -- the
+    // per-trial seeds changed the page-load draws, but the undefended
+    // queues:1 capture stays perfectly classifiable.
     const auto grid = workload::fig20FingerprintGrid();
     ASSERT_FALSE(grid.empty());
     ASSERT_EQ(grid[0].name, "fig20/ring.none+cache.ddio");
+    ASSERT_EQ(grid[0].taskCount(), 20u);
 
-    runtime::ScenarioContext ctx(0, 1); // grid index 0, campaign seed 1
-    const runtime::ScenarioResult r = grid[0].run(ctx);
+    const runtime::ScenarioResult r =
+        runtime::runScenarioMonolithic(grid[0], 0, 1); // seed 1
     EXPECT_EQ(r.value("accuracy"), kGoldenAccuracy);
     EXPECT_EQ(r.value("correct"),
               static_cast<double>(kGoldenCorrect));

@@ -52,20 +52,44 @@ def scalar_metrics(report):
     }
 
 
-def cell_metrics(report):
+def cell_metrics(report, path):
+    """Cells by name, with the structure validated up front so a
+    mangled artifact dies with one line instead of a traceback."""
+    raw = report.get("cells", [])
+    if not isinstance(raw, list):
+        sys.exit(f"bench_compare: {path}: 'cells' is not a list")
     cells = {}
-    for cell in report.get("cells", []):
-        if isinstance(cell, dict) and "name" in cell:
-            cells[cell["name"]] = cell.get("metrics", {})
+    for cell in raw:
+        if not isinstance(cell, dict) or "name" not in cell:
+            continue
+        name = cell["name"]
+        metrics = cell.get("metrics", {})
+        if not isinstance(name, str):
+            sys.exit(f"bench_compare: {path}: cell name {name!r} "
+                     f"is not a string")
+        if not isinstance(metrics, dict):
+            sys.exit(f"bench_compare: {path}: cell {name!r} metrics "
+                     f"is not an object")
+        cells[name] = metrics
     return cells
 
 
-def compare(context, base, cur, suffixes, threshold, failures, lines):
+def numeric(context, key, value, path):
+    """A metric value as float, or a one-line death."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        sys.exit(f"bench_compare: {path}: {context}: {key} value "
+                 f"{value!r} is not numeric")
+    return float(value)
+
+
+def compare(context, base, cur, suffixes, threshold, failures, lines,
+            paths):
     for key in throughput_keys(base, suffixes):
         if key not in cur:
             failures.append(f"{context}: {key} missing from current")
             continue
-        old, new = float(base[key]), float(cur[key])
+        old = numeric(context, key, base[key], paths[0])
+        new = numeric(context, key, cur[key], paths[1])
         if old < 0.0:
             failures.append(
                 f"{context}: {key} baseline {old:.6g} is negative "
@@ -94,7 +118,8 @@ def compare(context, base, cur, suffixes, threshold, failures, lines):
     for key in throughput_keys(cur, suffixes):
         if key not in base:
             lines.append(
-                f"  unpinned  {context}: {key} {float(cur[key]):.6g} "
+                f"  unpinned  {context}: {key} "
+                f"{numeric(context, key, cur[key], paths[1]):.6g} "
                 f"(not in baseline)")
 
 
@@ -126,17 +151,18 @@ def main():
 
     failures = []
     lines = []
+    paths = (args.baseline, args.current)
     compare("<scalars>", scalar_metrics(base), scalar_metrics(cur),
-            suffixes, args.threshold, failures, lines)
+            suffixes, args.threshold, failures, lines, paths)
 
-    base_cells = cell_metrics(base)
-    cur_cells = cell_metrics(cur)
+    base_cells = cell_metrics(base, args.baseline)
+    cur_cells = cell_metrics(cur, args.current)
     for name, metrics in base_cells.items():
         if name not in cur_cells:
             failures.append(f"cell {name!r} missing from current")
             continue
         compare(name, metrics, cur_cells[name], suffixes,
-                args.threshold, failures, lines)
+                args.threshold, failures, lines, paths)
     for name in cur_cells:
         if name not in base_cells:
             lines.append(f"  new       {name} (not in baseline)")
