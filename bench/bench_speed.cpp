@@ -22,10 +22,12 @@
  * against.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "bench_util.hh"
 #include "defense/registry.hh"
 #include "net/traffic.hh"
+#include "obs/profile.hh"
 #include "obs/stats.hh"
 #include "sim/bench_report.hh"
 #include "testbed/testbed.hh"
@@ -193,7 +196,7 @@ runCell(const SpeedCell &cell, unsigned reps)
 int
 main(int argc, char **argv)
 {
-    // bench_speed [--reps=N] [cell-name-substring]
+    // bench_speed [--reps=N] [--profile] [cell-name-substring]
     //
     // The benign cells finish in single-digit milliseconds since the
     // hot paths were batched, so one-shot rates see double-digit host
@@ -202,6 +205,7 @@ main(int argc, char **argv)
     // the JSON so a partial run can never masquerade as a baseline.
     unsigned reps = 5;
     std::string filter;
+    bool profileMode = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--reps=", 0) == 0) {
@@ -209,12 +213,22 @@ main(int argc, char **argv)
             if (n < 1)
                 fatal("bench_speed: --reps must be >= 1");
             reps = static_cast<unsigned>(n);
+        } else if (arg == "--profile") {
+            profileMode = true;
         } else if (!arg.empty() && arg[0] != '-' && filter.empty()) {
             filter = arg;
         } else {
             fatal("bench_speed: unknown argument '" + arg + "'");
         }
     }
+
+    // --profile: aggregate the instrumented phases across the sweep
+    // and print the phase table instead of writing BENCH_speed.json --
+    // slot accumulation at every span close is measurable overhead, so
+    // a profiled run must never become the committed speed baseline.
+    std::optional<obs::ProfileSession> profile;
+    if (profileMode)
+        profile.emplace();
 
     bench::banner("Speed",
                   "Simulator hot-path throughput per host second "
@@ -251,6 +265,42 @@ main(int argc, char **argv)
                 ran, reps, elapsed);
     if (ran == 0)
         fatal("bench_speed: filter '" + filter + "' matched no cell");
+
+    if (profileMode) {
+        // The cells all ran on this (the only) thread, so one drain
+        // holds the whole sweep. Phases sorted by self time: the top
+        // row is where an optimization PR should look first.
+        const obs::ProfileDelta prof = obs::drainProfile();
+        std::vector<std::size_t> ids;
+        for (std::size_t id = 0; id < prof.size(); ++id)
+            if (!prof[id].empty())
+                ids.push_back(id);
+        std::sort(ids.begin(), ids.end(),
+                  [&prof](std::size_t a, std::size_t b) {
+                      return prof[a].selfNs > prof[b].selfNs;
+                  });
+        std::uint64_t selfTotal = 0;
+        for (std::size_t id : ids)
+            selfTotal += prof[id].selfNs;
+        std::printf("\n  %-24s %12s %10s %10s %7s\n", "phase", "count",
+                    "total ms", "self ms", "share");
+        bench::rule(70);
+        for (std::size_t id : ids) {
+            const obs::PhaseStats &s = prof[id];
+            std::printf("  %-24s %12llu %10.2f %10.2f %6.1f%%\n",
+                        obs::phaseName(id),
+                        static_cast<unsigned long long>(s.count),
+                        static_cast<double>(s.totalNs) * 1e-6,
+                        static_cast<double>(s.selfNs) * 1e-6,
+                        selfTotal ? 100.0 *
+                                        static_cast<double>(s.selfNs) /
+                                        static_cast<double>(selfTotal)
+                                  : 0.0);
+        }
+        bench::rule(70);
+        std::printf("  profiled run: BENCH_speed.json not written\n");
+        return 0;
+    }
 
     if (!filter.empty()) {
         std::printf("  filtered run: BENCH_speed.json not written\n");

@@ -26,6 +26,15 @@
  *     ...                              --shard=3/4 --report=s3.json
  *     ./build/examples/campaign --merge full.json s0.json ... s3.json
  *
+ * Profiling: --profile=out.json opens an in-process
+ * obs::ProfileSession and writes the per-phase / per-cell profile
+ * report (see runtime/fabric/profile_report.hh); profile reports
+ * shard and --merge exactly like campaign reports. --progress=rich
+ * adds the hottest phase's self-time share to the live progress line.
+ * --trace-buffer=N caps the per-thread trace buffer (with --trace);
+ * overflow drops events, counted in the trace, on stderr, and in the
+ * profile report's trace.dropped.* scalars.
+ *
  * --threads=0 (the default) resolves like the benches: the
  * PKTCHASE_THREADS environment variable, else max(4, hardware).
  * Reports are bit-identical across thread counts at a fixed seed --
@@ -40,7 +49,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hh"
 #include "obs/trace.hh"
+#include "runtime/fabric/profile_report.hh"
 #include "runtime/fabric/shard.hh"
 #include "runtime/registry.hh"
 #include "runtime/sweep.hh"
@@ -74,6 +85,8 @@ struct Options
     bool merge = false;
     std::string trace_path;
     std::string report_path;
+    std::string profile_path;
+    std::uint64_t trace_buffer = 0; ///< 0: TraceSession's default cap.
     runtime::ShardSpec shard; ///< Defaults to the unsharded 0/1.
     bool shard_set = false;
 };
@@ -105,6 +118,32 @@ parseFlag(const std::string &arg, Options &opt)
     if (arg.rfind(trace, 0) == 0) {
         opt.trace_path = arg.substr(trace.size());
         return !opt.trace_path.empty();
+    }
+    const std::string profile = "--profile=";
+    if (arg.rfind(profile, 0) == 0) {
+        opt.profile_path = arg.substr(profile.size());
+        return !opt.profile_path.empty();
+    }
+    const std::string tracebuf = "--trace-buffer=";
+    if (arg.rfind(tracebuf, 0) == 0) {
+        if (!parseUnsigned(arg.substr(tracebuf.size()), value) ||
+            value == 0)
+            return false;
+        opt.trace_buffer = value;
+        return true;
+    }
+    const std::string progress = "--progress=";
+    if (arg.rfind(progress, 0) == 0) {
+        const std::string mode = arg.substr(progress.size());
+        if (mode == "rich") {
+            opt.sweep.richProgress = true;
+            return true;
+        }
+        if (mode == "plain") {
+            opt.sweep.richProgress = false;
+            return true;
+        }
+        return false;
     }
     if (arg.rfind(shard, 0) == 0) {
         opt.shard_set = true;
@@ -147,7 +186,9 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [<grid>] [--threads=N] [--seed=S] "
                  "[--shard=i/N] [--report=out.json] "
-                 "[--trace=out.json] [--list] [--quiet]\n"
+                 "[--profile=out.json] [--trace=out.json] "
+                 "[--trace-buffer=N] [--progress=rich|plain] "
+                 "[--list] [--quiet]\n"
                  "       %s --merge <out.json> <shard.json>...\n",
                  argv0, argv0);
     return 1;
@@ -203,10 +244,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if ((opt.shard_set || !opt.report_path.empty()) &&
+    if ((opt.shard_set || !opt.report_path.empty() ||
+         !opt.profile_path.empty()) &&
         grid_name.empty()) {
         std::fprintf(stderr,
-                     "--shard/--report need a grid to run\n");
+                     "--shard/--report/--profile need a grid to run\n");
+        return usage(argv[0]);
+    }
+    if (opt.trace_buffer != 0 && opt.trace_path.empty()) {
+        std::fprintf(stderr, "--trace-buffer needs --trace\n");
         return usage(argv[0]);
     }
 
@@ -214,8 +260,33 @@ main(int argc, char **argv)
     // out of scope at the end of main. Without --trace no session
     // exists and every span compiles down to a TLS-null check.
     std::optional<obs::TraceSession> trace;
-    if (!opt.trace_path.empty())
-        trace.emplace(opt.trace_path);
+    if (!opt.trace_path.empty()) {
+        if (opt.trace_buffer != 0)
+            trace.emplace(opt.trace_path,
+                          static_cast<std::size_t>(opt.trace_buffer));
+        else
+            trace.emplace(opt.trace_path);
+    }
+
+    // Profile aggregation: on for --profile (report) and
+    // --progress=rich (live top-phase line). PKTCHASE_PROFILE_TICKS=N
+    // swaps the wall clock for the deterministic N-ns-per-query test
+    // clock, which is what makes sharded --profile runs merge
+    // byte-identically to an unsharded one in CI.
+    std::optional<obs::ProfileSession> profile;
+    if (!opt.profile_path.empty() || opt.sweep.richProgress) {
+        std::uint64_t ticks = 0;
+        if (const char *env = std::getenv("PKTCHASE_PROFILE_TICKS")) {
+            if (!parseUnsigned(env, ticks)) {
+                std::fprintf(stderr,
+                             "invalid PKTCHASE_PROFILE_TICKS "
+                             "\"%s\"\n",
+                             env);
+                return 1;
+            }
+        }
+        profile.emplace(ticks);
+    }
 
     if (!grid_name.empty()) {
         if (!runtime::ScenarioRegistry::instance().contains(grid_name)) {
@@ -247,6 +318,19 @@ main(int argc, char **argv)
                 return 1;
             std::printf("wrote %s (shard %u/%u, %zu cells)\n",
                         opt.report_path.c_str(), opt.shard.index,
+                        opt.shard.count, results.size());
+        }
+        if (!opt.profile_path.empty()) {
+            const unsigned threads = opt.sweep.threads
+                                         ? opt.sweep.threads
+                                         : runtime::defaultThreads();
+            const sim::BenchReport report = runtime::profileReport(
+                grid_name, sweep_opt.seed, grid.size(), opt.shard,
+                threads, profile->clockTag(), results);
+            if (!report.write(opt.profile_path))
+                return 1;
+            std::printf("wrote %s (profile, shard %u/%u, %zu cells)\n",
+                        opt.profile_path.c_str(), opt.shard.index,
                         opt.shard.count, results.size());
         }
         return 0;

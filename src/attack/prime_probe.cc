@@ -73,7 +73,8 @@ PrimeProbeMonitor::probeAll(Cycles now)
     // both the probe-round counter and the llc.walk trace span. The
     // walk streams the flat line array directly -- per-set boundaries
     // only mark where the active flag latches.
-    const obs::ScopedSpan span("llc.walk", "cache");
+    static const obs::ProfilePhase kWalkPhase{"llc.walk", "cache"};
+    const obs::ScopedSpan span(kWalkPhase);
     obs::bump(obs::Stat::ProbeRounds);
     sample_.start = now;
     Cycles t = now;

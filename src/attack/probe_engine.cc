@@ -142,7 +142,9 @@ ProbeEngine::scheduleChase(EventQueue &eq, Stream &st, std::size_t id,
     // accumulated across the probes of one slot visit and classified
     // once the first monitored row has fired.
     st.step = [this, &eq, &st, id, horizon] {
-        const obs::ScopedSpan span("probe.chase-round", "attack");
+        static const obs::ProfilePhase kChasePhase{"probe.chase-round",
+                                                   "attack"};
+        const obs::ScopedSpan span(kChasePhase);
         const ProbeSample &s = st.monitors[st.cursor].probeAll(eq.now());
         ++st.stats.probes;
         for (std::size_t i = 0; i < st.accum.size(); ++i)
@@ -192,7 +194,9 @@ ProbeEngine::scheduleSample(EventQueue &eq, Stream &st, std::size_t id,
 {
     const Cycles interval = secondsToCycles(1.0 / cfg_.sampleRateHz);
     st.step = [this, &eq, &st, id, horizon, interval] {
-        const obs::ScopedSpan span("probe.sample-round", "attack");
+        static const obs::ProfilePhase kSamplePhase{"probe.sample-round",
+                                                    "attack"};
+        const obs::ScopedSpan span(kSamplePhase);
         Cycles t = eq.now();
         for (std::size_t b = 0; b < st.monitors.size(); ++b) {
             const ProbeSample &s = st.monitors[b].probeAll(t);

@@ -166,7 +166,8 @@ IgbDriver::receiveBatch(const Frame *frames, const Cycles *when,
     if (count == 0)
         fatal("IgbDriver::receiveBatch: empty batch");
 
-    const obs::ScopedSpan span("nic.deliver", "nic");
+    static const obs::ProfilePhase kDeliverPhase{"nic.deliver", "nic"};
+    const obs::ScopedSpan span(kDeliverPhase);
     obs::bump(obs::Stat::FramesDelivered, count);
 
     const bool ddio = hier_.ddioEnabled();

@@ -1,0 +1,47 @@
+#include "manifest.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+// CMake injects these as source-file compile definitions on
+// manifest.cc only (so touching provenance never rebuilds the world).
+#ifndef PKTCHASE_GIT_SHA
+#define PKTCHASE_GIT_SHA "unknown"
+#endif
+#ifndef PKTCHASE_COMPILER
+#define PKTCHASE_COMPILER "unknown"
+#endif
+#ifndef PKTCHASE_BUILD_FLAGS
+#define PKTCHASE_BUILD_FLAGS "unknown"
+#endif
+
+namespace pktchase::obs
+{
+
+RunManifest
+RunManifest::build()
+{
+    RunManifest m;
+    m.gitSha = PKTCHASE_GIT_SHA;
+    m.compiler = PKTCHASE_COMPILER;
+    m.buildFlags = PKTCHASE_BUILD_FLAGS;
+    return m;
+}
+
+RunManifest
+RunManifest::host(unsigned threads)
+{
+    RunManifest m = build();
+    m.threads = threads;
+#ifdef __unix__
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0')
+        m.hostname = buf;
+#endif
+    if (m.hostname.empty())
+        m.hostname = "unknown-host";
+    return m;
+}
+
+} // namespace pktchase::obs

@@ -105,6 +105,17 @@ TraceSession::droppedEvents() const
     return dropped;
 }
 
+std::vector<TraceSession::ThreadDrops>
+TraceSession::perThreadDrops() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ThreadDrops> out;
+    out.reserve(buffers_.size());
+    for (const auto &b : buffers_)
+        out.push_back(ThreadDrops{b->tid, b->dropped});
+    return out;
+}
+
 bool
 TraceSession::write()
 {
@@ -188,12 +199,15 @@ attachWorkerThread(unsigned worker_index)
     if (TraceSession *s = activeSession)
         s->attachCurrentThread(worker_index + 1,
                                "worker-" + std::to_string(worker_index));
+    if (ProfileSession *p = ProfileSession::active())
+        p->attachCurrentThread();
 }
 
 void
 detachWorkerThread()
 {
     TraceSession::detachCurrentThread();
+    ProfileSession::detachCurrentThread();
 }
 
 } // namespace pktchase::obs

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hh"
+
 namespace pktchase::obs
 {
 
@@ -142,6 +144,21 @@ class TraceSession
     /** Events dropped over every buffer (saturation indicator). */
     std::uint64_t droppedEvents() const;
 
+    /** One attached thread's drop tally, for the profile report. */
+    struct ThreadDrops
+    {
+        std::uint32_t tid = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    /** Per-thread drop counts, in attach (tid) order. Call after the
+     *  campaign joined its workers -- counts still ticking elsewhere
+     *  are a data race, same rule as write(). */
+    std::vector<ThreadDrops> perThreadDrops() const;
+
+    /** The per-thread event cap this session was opened with. */
+    std::size_t eventCap() const { return eventCap_; }
+
     /** The process-wide active session, or nullptr. */
     static TraceSession *active();
 
@@ -158,13 +175,14 @@ class TraceSession
 };
 
 /**
- * Attach the calling campaign worker to the active session as track
- * w+1 (tid 0 is the driver); no-op when no session is active. Pair
- * with detachWorkerThread() before the worker exits.
+ * Attach the calling campaign worker to the active trace session as
+ * track w+1 (tid 0 is the driver) and to the active profile session;
+ * no-op for whichever is inactive. Pair with detachWorkerThread()
+ * before the worker exits.
  */
 void attachWorkerThread(unsigned worker_index);
 
-/** Detach the calling thread from whatever session it records into. */
+/** Detach the calling thread from whatever sessions it records into. */
 void detachWorkerThread();
 
 /**
@@ -198,8 +216,47 @@ class ScopedSpan
         }
     }
 
+    /**
+     * Profiled span: besides tracing (when a trace session is
+     * attached), folds its duration into the calling thread's
+     * PhaseStats slot for @p phase (when a profile session is
+     * attached). Detached from both, still one load + branch each.
+     */
+    explicit ScopedSpan(const ProfilePhase &phase)
+    {
+        if (detail::TraceBuffer *b = detail::tlsTrace) {
+            buf_ = b;
+            name_ = phase.name();
+            cat_ = phase.cat();
+            startMicros_ = b->nowMicros();
+        }
+        if (detail::ProfileBlock *p = detail::tlsProfile) {
+            prof_ = p;
+            detail::profileOpen(p, phase.id());
+        }
+    }
+
+    /** Profiled span with a dynamic trace name (campaign cell names):
+     *  the trace track shows @p name, the profile aggregates under
+     *  the phase (per-cell split comes from the campaign drain). */
+    ScopedSpan(const std::string &name, const ProfilePhase &phase)
+    {
+        if (detail::TraceBuffer *b = detail::tlsTrace) {
+            buf_ = b;
+            dynName_ = name;
+            cat_ = phase.cat();
+            startMicros_ = b->nowMicros();
+        }
+        if (detail::ProfileBlock *p = detail::tlsProfile) {
+            prof_ = p;
+            detail::profileOpen(p, phase.id());
+        }
+    }
+
     ~ScopedSpan()
     {
+        if (prof_)
+            detail::profileClose(prof_);
         if (!buf_)
             return;
         detail::TraceEvent e;
@@ -216,6 +273,7 @@ class ScopedSpan
 
   private:
     detail::TraceBuffer *buf_ = nullptr;
+    detail::ProfileBlock *prof_ = nullptr;
     const char *name_ = nullptr;
     std::string dynName_;
     const char *cat_ = "sim";

@@ -90,17 +90,31 @@ Campaign::run(const std::vector<Scenario> &grid,
     auto runUnit = [&](std::size_t slot, std::size_t task) {
         const std::size_t index = subset[slot];
         const Scenario &sc = grid[index];
+        // Profile windows bracket the unit exactly like the counter
+        // snapshot: discard whatever accumulated since the thread's
+        // last unit (scheduling, ring backoff), run, then drain this
+        // unit's stats into the result. Units run start-to-finish on
+        // one thread, so the drained window is exactly this task's
+        // spans regardless of which worker ran it.
+        const bool prof = obs::profiling();
+        if (prof)
+            obs::drainProfile();
         const obs::StatSnapshot before = obs::snapshot();
         ScenarioResult r;
         if (sc.decomposed()) {
+            static const obs::ProfilePhase kTaskPhase{"fabric.task",
+                                                      "fabric.task"};
             const obs::ScopedSpan span(
-                sc.name + "#" + std::to_string(task), "fabric.task");
+                sc.name + "#" + std::to_string(task), kTaskPhase);
             r = runScenarioTask(sc, index, cfg_.seed, task);
         } else {
-            const obs::ScopedSpan span(sc.name, "cell");
+            static const obs::ProfilePhase kCellPhase{"cell", "cell"};
+            const obs::ScopedSpan span(sc.name, kCellPhase);
             r = runScenarioTask(sc, index, cfg_.seed, task);
         }
         r.counters = (obs::snapshot() - before).toCounters();
+        if (prof)
+            r.profile = obs::drainProfile();
         return r;
     };
 

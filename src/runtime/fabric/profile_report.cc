@@ -1,0 +1,225 @@
+#include "profile_report.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+
+namespace pktchase::runtime
+{
+
+namespace
+{
+
+/** Per-phase accumulator for the aggregate table. ns counts are
+ *  exact in doubles up to 2^53 (~104 days), far past any campaign. */
+struct PhaseAgg
+{
+    double count = 0;
+    double totalNs = 0;
+    double selfNs = 0;
+    double minNs = std::numeric_limits<double>::infinity();
+    double maxNs = 0;
+    double hist[obs::kProfileHistBuckets] = {};
+};
+
+/** Split a "<phase>.<field>" cell key; false for foreign keys. */
+bool
+splitPhaseKey(const std::string &key, std::string &phase,
+              std::string &field)
+{
+    const std::size_t dot = key.rfind('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot + 1 == key.size())
+        return false;
+    phase = key.substr(0, dot);
+    field = key.substr(dot + 1);
+    return true;
+}
+
+/** Histogram field ("h<b>") to bucket index; false otherwise. */
+bool
+parseHistField(const std::string &field, std::size_t &bucket)
+{
+    if (field.size() < 2 || field[0] != 'h' ||
+        field.find_first_not_of("0123456789", 1) != std::string::npos)
+        return false;
+    bucket = static_cast<std::size_t>(
+        std::strtoull(field.c_str() + 1, nullptr, 10));
+    return bucket < obs::kProfileHistBuckets;
+}
+
+/**
+ * The aggregate phase table, recomputed from cell rows. Shared by the
+ * emit and merge paths: byte-identity of merged vs unsharded reports
+ * reduces to byte-identity of their rows.
+ */
+sim::BenchReport::Metrics
+topPhaseTable(const std::vector<ProfileCell> &cells)
+{
+    // std::map: phases ordered by name, the one serialization-stable
+    // order (ids are first-use registration order and may permute).
+    std::map<std::string, PhaseAgg> table;
+    for (const ProfileCell &c : cells) {
+        for (const auto &kv : c.metrics) {
+            std::string phase;
+            std::string field;
+            if (!splitPhaseKey(kv.first, phase, field))
+                continue;
+            PhaseAgg &agg = table[phase];
+            std::size_t bucket = 0;
+            if (field == "count")
+                agg.count += kv.second;
+            else if (field == "total_ns")
+                agg.totalNs += kv.second;
+            else if (field == "self_ns")
+                agg.selfNs += kv.second;
+            else if (field == "min_ns")
+                agg.minNs = std::min(agg.minNs, kv.second);
+            else if (field == "max_ns")
+                agg.maxNs = std::max(agg.maxNs, kv.second);
+            else if (parseHistField(field, bucket))
+                agg.hist[bucket] += kv.second;
+        }
+    }
+
+    double selfTotal = 0;
+    for (const auto &kv : table)
+        selfTotal += kv.second.selfNs;
+
+    sim::BenchReport::Metrics out;
+    for (const auto &kv : table) {
+        const std::string &phase = kv.first;
+        const PhaseAgg &agg = kv.second;
+        if (agg.count <= 0)
+            continue;
+        out.emplace_back(phase + ".count", agg.count);
+        out.emplace_back(phase + ".total_ns", agg.totalNs);
+        out.emplace_back(phase + ".self_ns", agg.selfNs);
+        out.emplace_back(phase + ".min_ns", agg.minNs);
+        out.emplace_back(phase + ".max_ns", agg.maxNs);
+        out.emplace_back(phase + ".total_sec", agg.totalNs * 1e-9);
+        out.emplace_back(phase + ".self_sec", agg.selfNs * 1e-9);
+        out.emplace_back(phase + ".self_share",
+                         selfTotal > 0 ? agg.selfNs / selfTotal : 0.0);
+        out.emplace_back(phase + ".throughput_hz",
+                         agg.totalNs > 0
+                             ? agg.count / (agg.totalNs * 1e-9)
+                             : 0.0);
+        for (std::size_t b = 0; b < obs::kProfileHistBuckets; ++b) {
+            if (agg.hist[b] > 0)
+                out.emplace_back(phase + ".h" + std::to_string(b),
+                                 agg.hist[b]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<ProfileCell>
+profileCellsFromResults(std::uint64_t campaignSeed,
+                        const std::vector<ScenarioResult> &results)
+{
+    std::vector<ProfileCell> cells;
+    cells.reserve(results.size());
+    for (const ScenarioResult &r : results) {
+        ProfileCell c;
+        c.index = r.index;
+        c.seed = splitSeed(campaignSeed, r.index);
+        c.name = r.name;
+
+        // Id-indexed stats to name-sorted serialization.
+        std::vector<std::pair<std::string, const obs::PhaseStats *>>
+            named;
+        for (std::size_t id = 0; id < r.profile.size(); ++id) {
+            if (!r.profile[id].empty())
+                named.emplace_back(obs::phaseName(id), &r.profile[id]);
+        }
+        std::sort(named.begin(), named.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &np : named) {
+            const std::string &phase = np.first;
+            const obs::PhaseStats &s = *np.second;
+            c.metrics.emplace_back(phase + ".count",
+                                   static_cast<double>(s.count));
+            c.metrics.emplace_back(phase + ".total_ns",
+                                   static_cast<double>(s.totalNs));
+            c.metrics.emplace_back(phase + ".self_ns",
+                                   static_cast<double>(s.selfNs));
+            c.metrics.emplace_back(phase + ".min_ns",
+                                   static_cast<double>(s.minNs));
+            c.metrics.emplace_back(phase + ".max_ns",
+                                   static_cast<double>(s.maxNs));
+            for (std::size_t b = 0; b < obs::kProfileHistBuckets;
+                 ++b) {
+                if (s.hist[b] > 0)
+                    c.metrics.emplace_back(
+                        phase + ".h" + std::to_string(b),
+                        static_cast<double>(s.hist[b]));
+            }
+        }
+        cells.push_back(std::move(c));
+    }
+    return cells;
+}
+
+sim::BenchReport
+profileReportFromCells(const std::string &gridName,
+                       std::uint64_t campaignSeed, std::size_t gridSize,
+                       const ShardSpec &shard,
+                       const std::string &clockTag,
+                       const obs::RunManifest &manifest,
+                       double traceDropped,
+                       const sim::BenchReport::Metrics &extraScalars,
+                       const std::vector<ProfileCell> &cells)
+{
+    sim::BenchReport report("profile");
+    report.manifest(manifest);
+    report.meta("grid", gridName);
+    report.meta("campaign_seed", std::to_string(campaignSeed));
+    report.meta("grid_size", std::to_string(gridSize));
+    report.meta("shard_index", std::to_string(shard.index));
+    report.meta("shard_count", std::to_string(shard.count));
+    report.meta("clock", clockTag);
+    for (const auto &kv : topPhaseTable(cells))
+        report.scalar(kv.first, kv.second);
+    report.scalar("trace.dropped_events", traceDropped);
+    for (const auto &kv : extraScalars)
+        report.scalar(kv.first, kv.second);
+    for (const ProfileCell &c : cells)
+        report.cell(c.index, c.seed, c.name, c.metrics);
+    return report;
+}
+
+sim::BenchReport
+profileReport(const std::string &gridName, std::uint64_t campaignSeed,
+              std::size_t gridSize, const ShardSpec &shard,
+              unsigned threads, const std::string &clockTag,
+              const std::vector<ScenarioResult> &results)
+{
+    // Per-thread trace drop counts ride along when a trace session is
+    // live -- satellite of the bounded trace buffers: saturation is a
+    // report field, not just a stderr line.
+    double dropped = 0;
+    sim::BenchReport::Metrics extras;
+    if (const obs::TraceSession *t = obs::TraceSession::active()) {
+        dropped = static_cast<double>(t->droppedEvents());
+        for (const auto &td : t->perThreadDrops()) {
+            extras.emplace_back("trace.dropped.t" +
+                                    std::to_string(td.tid),
+                                static_cast<double>(td.dropped));
+        }
+    }
+    return profileReportFromCells(
+        gridName, campaignSeed, gridSize, shard, clockTag,
+        obs::RunManifest::host(threads), dropped, extras,
+        profileCellsFromResults(campaignSeed, results));
+}
+
+} // namespace pktchase::runtime

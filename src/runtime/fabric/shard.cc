@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/manifest.hh"
+#include "runtime/fabric/profile_report.hh"
 #include "sim/json.hh"
 
 namespace pktchase::runtime
@@ -42,11 +44,15 @@ parseHexU64(const std::string &text, std::uint64_t &out)
 struct ParsedShard
 {
     std::string path;
+    bool isProfile = false; ///< bench == "profile" vs "campaign".
     std::string grid;
     std::uint64_t campaignSeed = 0;
     std::uint64_t gridSize = 0;
     std::uint64_t shardIndex = 0;
     std::uint64_t shardCount = 0;
+    obs::RunManifest manifest;  ///< "unknown" fields when absent.
+    std::string clock;          ///< Profile reports only.
+    double traceDropped = 0;    ///< Profile reports only.
     std::vector<ScenarioResult> rows;
     std::vector<std::uint64_t> rowSeeds; ///< Parallel to rows.
 };
@@ -86,10 +92,37 @@ parseShardFile(const std::string &path, ParsedShard &out,
         root.require("bench", sim::JsonValue::String, path, err);
     if (!bench)
         return false;
-    if (bench->str != "campaign") {
-        err = path + ": not a campaign shard report (bench=\"" +
+    if (bench->str != "campaign" && bench->str != "profile") {
+        err = path + ": not a mergeable shard report (bench=\"" +
               bench->str + "\")";
         return false;
+    }
+    out.isProfile = bench->str == "profile";
+
+    // Provenance: reports written before the manifest era parse as
+    // all-"unknown" (two unknowns still compare equal below).
+    out.manifest.gitSha = "unknown";
+    out.manifest.compiler = "unknown";
+    out.manifest.buildFlags = "unknown";
+    if (const sim::JsonValue *man = root.find("manifest")) {
+        if (man->kind != sim::JsonValue::Object) {
+            err = path + ": \"manifest\" is not an object";
+            return false;
+        }
+        auto field = [&](const char *key, std::string &into) {
+            if (const sim::JsonValue *v = man->find(key)) {
+                if (v->kind == sim::JsonValue::String)
+                    into = v->str;
+            }
+        };
+        field("git_sha", out.manifest.gitSha);
+        field("compiler", out.manifest.compiler);
+        field("build_flags", out.manifest.buildFlags);
+        field("hostname", out.manifest.hostname);
+        if (const sim::JsonValue *v = man->find("threads")) {
+            if (v->kind == sim::JsonValue::Number)
+                out.manifest.threads = static_cast<unsigned>(v->num);
+        }
     }
 
     const sim::JsonValue *grid =
@@ -97,6 +130,18 @@ parseShardFile(const std::string &path, ParsedShard &out,
     if (!grid)
         return false;
     out.grid = grid->str;
+
+    if (out.isProfile) {
+        const sim::JsonValue *clock =
+            root.require("clock", sim::JsonValue::String, path, err);
+        if (!clock)
+            return false;
+        out.clock = clock->str;
+        if (const sim::JsonValue *d = root.find("trace.dropped_events")) {
+            if (d->kind == sim::JsonValue::Number)
+                out.traceDropped = d->num;
+        }
+    }
 
     if (!readMetaU64(root, "campaign_seed", path, out.campaignSeed,
                      err) ||
@@ -198,6 +243,10 @@ campaignReport(const std::string &gridName, std::uint64_t campaignSeed,
                const std::vector<ScenarioResult> &results)
 {
     sim::BenchReport report("campaign");
+    // The hostname-free build manifest: campaign metrics are
+    // deterministic per build, so shards produced on different
+    // machines from the same commit must still merge byte-identically.
+    report.manifest(obs::RunManifest::build());
     report.meta("grid", gridName);
     report.meta("campaign_seed", std::to_string(campaignSeed));
     report.meta("grid_size", std::to_string(gridSize));
@@ -246,6 +295,36 @@ mergeShardReports(const std::vector<std::string> &inputs,
                    std::to_string(s.shardCount) + " does not match " +
                    std::to_string(first.shardCount) + " of " +
                    first.path;
+        if (s.isProfile != first.isProfile)
+            return s.path + ": mixes bench types (\"" +
+                   std::string(s.isProfile ? "profile" : "campaign") +
+                   "\" vs \"" +
+                   std::string(first.isProfile ? "profile"
+                                               : "campaign") +
+                   "\" of " + first.path + ")";
+        // Provenance check: shards of one merge must come from the
+        // same build -- a sha mismatch means someone is merging
+        // artifacts of different commits.
+        if (s.manifest.gitSha != first.manifest.gitSha)
+            return s.path + ": git sha " + s.manifest.gitSha +
+                   " does not match " + first.manifest.gitSha + " of " +
+                   first.path;
+        if (s.isProfile) {
+            if (s.clock != first.clock)
+                return s.path + ": clock \"" + s.clock +
+                       "\" does not match \"" + first.clock +
+                       "\" of " + first.path;
+            // Profile numbers are host-bound, so a merged profile is
+            // only meaningful for shards of one build on one host.
+            if (s.manifest.compiler != first.manifest.compiler ||
+                s.manifest.buildFlags != first.manifest.buildFlags ||
+                s.manifest.hostname != first.manifest.hostname ||
+                s.manifest.threads != first.manifest.threads)
+                return s.path + ": manifest does not match " +
+                       first.path +
+                       " (profile shards must share one build, host, "
+                       "and thread count)";
+        }
     }
 
     // The shard set must be exactly {0, ..., count-1}, once each.
@@ -312,10 +391,36 @@ mergeShardReports(const std::vector<std::string> &inputs,
     }
 
     // Re-emit as the unsharded (0/1) form -- byte-identical to what a
-    // single-process --report run writes.
-    const sim::BenchReport report = campaignReport(
+    // single-process --report / --profile run writes.
+    if (first.isProfile) {
+        std::vector<ProfileCell> cells;
+        cells.reserve(merged.size());
+        for (const ScenarioResult &r : merged) {
+            ProfileCell c;
+            c.index = r.index;
+            c.seed = splitSeed(first.campaignSeed, r.index);
+            c.name = r.name;
+            c.metrics = r.metrics;
+            cells.push_back(std::move(c));
+        }
+        double dropped = 0;
+        for (const ParsedShard &s : shards)
+            dropped += s.traceDropped;
+        const sim::BenchReport report = profileReportFromCells(
+            first.grid, first.campaignSeed, gridSize, ShardSpec{0, 1},
+            first.clock, first.manifest, dropped, {}, cells);
+        if (!report.write(outPath))
+            return "cannot write " + outPath;
+        return "";
+    }
+    sim::BenchReport report = campaignReport(
         first.grid, first.campaignSeed, gridSize, ShardSpec{0, 1},
         merged);
+    // Campaign metric shards are deterministic across hosts, so their
+    // merge keeps the hostname-free manifest of the inputs (which the
+    // sha check above proved consistent) rather than stamping the
+    // merging host's.
+    report.manifest(first.manifest);
     if (!report.write(outPath))
         return "cannot write " + outPath;
     return "";

@@ -132,6 +132,10 @@ foldScenarioParts(const Scenario &s, std::size_t index,
     } else {
         out = s.fold(parts);
         out.counters = sumPartCounters(parts);
+        // Element-wise profile sum, mirroring the counter contract:
+        // a decomposed cell's profile is exactly its tasks' profiles.
+        for (const ScenarioResult &p : parts)
+            obs::mergeProfileInto(out.profile, p.profile);
     }
     out.index = index;
     if (out.name.empty())

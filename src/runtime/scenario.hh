@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profile.hh"
 #include "sim/rng.hh"
 
 namespace pktchase::runtime
@@ -101,6 +102,19 @@ struct ScenarioResult
      * final (folded) result must carry its findings in @ref metrics.
      */
     std::vector<std::pair<std::string, std::vector<double>>> series;
+
+    /**
+     * Per-phase wall-clock profile accumulated while this cell ran,
+     * filled in by Campaign as the thread-local profile drain around
+     * the cell's run function -- empty unless an obs::ProfileSession
+     * is active (so results stay light by default). Indexed by
+     * process-global phase id; like @ref counters it never reaches
+     * formatReport() or the campaign metric report, preserving the
+     * profiled == unprofiled byte-identity invariant. Unlike the
+     * counters, the values are wall-clock and thus only deterministic
+     * under the session's tick-clock mode.
+     */
+    obs::ProfileDelta profile;
 
     /** Look up a hot-path counter by name; fatal() when absent. */
     std::uint64_t counter(const std::string &key) const;

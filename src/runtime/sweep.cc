@@ -26,16 +26,18 @@ namespace
 class ProgressMeter
 {
   public:
-    ProgressMeter(std::size_t total, std::size_t taskTotal)
-        : total_(total), taskTotal_(taskTotal),
+    ProgressMeter(std::size_t total, std::size_t taskTotal, bool rich)
+        : total_(total), taskTotal_(taskTotal), rich_(rich),
           start_(std::chrono::steady_clock::now())
     {
     }
 
     void
-    onCell()
+    onCell(const ScenarioResult &r)
     {
         ++done_;
+        if (rich_ && !r.profile.empty())
+            obs::mergeProfileInto(profile_, r.profile);
         maybePaint(done_ == total_);
     }
 
@@ -93,6 +95,27 @@ class ProgressMeter
                     std::to_string(fabric_.cellsStolen) + "/" +
                     std::to_string(fabric_.stealAttempts);
         }
+        // Rich mode: the hottest phase by accumulated self time and
+        // its share -- the profile's headline number, live.
+        if (rich_) {
+            std::uint64_t selfTotal = 0;
+            std::size_t top = profile_.size();
+            std::uint64_t topSelf = 0;
+            for (std::size_t id = 0; id < profile_.size(); ++id) {
+                selfTotal += profile_[id].selfNs;
+                if (profile_[id].selfNs > topSelf) {
+                    topSelf = profile_[id].selfNs;
+                    top = id;
+                }
+            }
+            if (top < profile_.size() && selfTotal > 0) {
+                std::snprintf(buf, sizeof(buf), " | top %s %.0f%%",
+                              obs::phaseName(top),
+                              100.0 * static_cast<double>(topSelf) /
+                                  static_cast<double>(selfTotal));
+                line += buf;
+            }
+        }
         line += "]\033[K";
         std::fputs(line.c_str(), stderr);
         std::fflush(stderr);
@@ -100,6 +123,8 @@ class ProgressMeter
 
     const std::size_t total_;
     const std::size_t taskTotal_;
+    const bool rich_;
+    obs::ProfileDelta profile_; ///< Rich mode: finished cells' sum.
     std::size_t done_ = 0;
     FabricStatus fabric_;
     bool haveFabric_ = false;
@@ -130,9 +155,10 @@ sweep(const std::vector<Scenario> &grid, const SweepOptions &opt)
 
     std::unique_ptr<ProgressMeter> meter;
     if (!opt.quiet && isatty(fileno(stderr))) {
-        meter = std::make_unique<ProgressMeter>(cells, tasks);
-        cfg.onResult = [&meter](const ScenarioResult &) {
-            meter->onCell();
+        meter = std::make_unique<ProgressMeter>(cells, tasks,
+                                                opt.richProgress);
+        cfg.onResult = [&meter](const ScenarioResult &r) {
+            meter->onCell(r);
         };
         cfg.onTick = [&meter](const FabricStatus &status) {
             meter->onTick(status);

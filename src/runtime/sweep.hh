@@ -38,6 +38,13 @@ struct SweepOptions
      *  per-worker fabric queue depths and the steal counters, so a
      *  skewed grid is diagnosable from the terminal. */
     bool quiet = false;
+    /** Rich progress (--progress=rich): the live line additionally
+     *  shows the hottest profiled phase and its share of self time,
+     *  accumulated from the per-cell profile drains as cells finish.
+     *  Needs an active obs::ProfileSession to have anything to show
+     *  (the campaign front-end opens one); same TTY/quiet gating as
+     *  the plain line, and like it never touches the results. */
+    bool richProgress = false;
     /** When non-empty: run only these full-grid indices (strictly
      *  increasing). Cells keep their full-grid seeds, so a sliced run
      *  is bit-identical to the same cells of a full run. */

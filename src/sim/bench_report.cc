@@ -79,6 +79,13 @@ BenchReport::meta(const std::string &key, const std::string &value)
 }
 
 void
+BenchReport::manifest(const obs::RunManifest &m)
+{
+    manifest_ = m;
+    manifestSet_ = true;
+}
+
+void
 BenchReport::cell(const std::string &name, const Metrics &metrics)
 {
     Cell c;
@@ -114,6 +121,20 @@ BenchReport::write(const std::string &path) const
 
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n",
                  jsonEscape(name_).c_str());
+    const obs::RunManifest m =
+        manifestSet_ ? manifest_ : obs::RunManifest::host();
+    std::fprintf(f,
+                 "  \"manifest\": {\"git_sha\": \"%s\", "
+                 "\"compiler\": \"%s\", \"build_flags\": \"%s\"",
+                 jsonEscape(m.gitSha).c_str(),
+                 jsonEscape(m.compiler).c_str(),
+                 jsonEscape(m.buildFlags).c_str());
+    if (!m.hostname.empty())
+        std::fprintf(f, ", \"hostname\": \"%s\"",
+                     jsonEscape(m.hostname).c_str());
+    if (m.threads != 0)
+        std::fprintf(f, ", \"threads\": %u", m.threads);
+    std::fprintf(f, "},\n");
     for (const auto &kv : metas_) {
         std::fprintf(f, "  \"%s\": \"%s\",\n",
                      jsonEscape(kv.first).c_str(),

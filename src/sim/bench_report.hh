@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/manifest.hh"
+
 namespace pktchase::sim
 {
 
@@ -60,6 +62,16 @@ class BenchReport
      * specs, 64-bit seeds.
      */
     void meta(const std::string &key, const std::string &value);
+
+    /**
+     * Override the provenance manifest embedded in the artifact.
+     * Unset, write() stamps obs::RunManifest::host() -- every report
+     * the repo emits records which build produced it. The campaign
+     * shard layer overrides with the hostname-free
+     * obs::RunManifest::build() so shard reports from different CI
+     * runners of the same commit still merge byte-identically.
+     */
+    void manifest(const obs::RunManifest &m);
 
     /** Append one cell. @p metrics is copied. */
     void cell(const std::string &name, const Metrics &metrics);
@@ -93,6 +105,8 @@ class BenchReport
     };
 
     std::string name_;
+    obs::RunManifest manifest_;
+    bool manifestSet_ = false;
     std::vector<std::pair<std::string, std::string>> metas_;
     Metrics scalars_;
     std::vector<Cell> cells_;

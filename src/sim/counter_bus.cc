@@ -128,7 +128,8 @@ CounterBus::subscribe(Subscriber s)
 void
 CounterBus::publish(const CounterSample &s)
 {
-    const obs::ScopedSpan span("detect.epoch", "detect");
+    static const obs::ProfilePhase kEpochPhase{"detect.epoch", "detect"};
+    const obs::ScopedSpan span(kEpochPhase);
     obs::bump(obs::Stat::DetectorEpochs);
     ++published_;
     for (const Subscriber &sub : subs_)

@@ -6,6 +6,7 @@
  * names, zero-cost-when-detached behaviour).
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,11 +19,22 @@
 #include "obs/trace.hh"
 #include "runtime/campaign.hh"
 #include "sim/event_queue.hh"
+#include "sim/json.hh"
 
 namespace
 {
 
 using namespace pktchase;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
 
 TEST(ObsStats, BumpAndSnapshotDelta)
 {
@@ -211,6 +223,44 @@ TEST(ObsTrace, BoundedBufferCountsDrops)
     std::stringstream ss;
     ss << in.rdbuf();
     EXPECT_NE(ss.str().find("dropped_events"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+/** Satellite of the configurable trace buffers: overflowing a tiny
+ *  bounded buffer from a multi-threaded campaign drops events but the
+ *  emitted file is still well-formed JSON with the drop counts -- a
+ *  drop must never tear an event record. */
+TEST(ObsTrace, OverflowedBufferStillEmitsValidJson)
+{
+    const std::string path =
+        testing::TempDir() + "/obs_trace_overflow_test.json";
+    std::uint64_t dropped = 0;
+    std::size_t threadsSeen = 0;
+    {
+        // One event per thread for a 9-cell campaign on 4 workers:
+        // pigeonhole guarantees some worker runs >= 2 cells, so its
+        // second span must be dropped mid-flight.
+        obs::TraceSession session(path, 1);
+        runtime::CampaignConfig cfg;
+        cfg.threads = 4;
+        cfg.seed = 7;
+        runtime::Campaign campaign(cfg);
+        campaign.run(tinyGrid(9));
+        dropped = session.droppedEvents();
+        threadsSeen = session.perThreadDrops().size();
+        EXPECT_EQ(session.eventCap(), 1u);
+    }
+    EXPECT_GT(dropped, 0u);
+    EXPECT_GE(threadsSeen, 2u); // Driver + at least one worker.
+
+    sim::JsonValue root;
+    std::string err;
+    ASSERT_TRUE(sim::parseJsonFile(path, root, err)) << err;
+    const sim::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_FALSE(events->arr.empty());
+    // The writer records each overflowed buffer as an instant marker.
+    EXPECT_NE(slurp(path).find("dropped_events: "), std::string::npos);
     std::remove(path.c_str());
 }
 

@@ -4,6 +4,15 @@
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold=0.15]
                      [--keys=SUFFIX[,SUFFIX...]]
+    bench_compare.py BASELINE.json... --current-dir=DIR [options]
+
+With ``--current-dir`` (the CI form), any number of baselines --
+typically a shell glob over bench/baselines/BENCH_*.json -- are each
+compared against the file of the same basename in DIR. Every pair is
+checked even after one fails, so a single CI run reports ALL failing
+keys across ALL artifacts instead of stopping at the first bad file;
+the exit is nonzero if any pair regressed or a current artifact is
+missing.
 
 Compares every throughput metric (by default: any key ending in
 ``_per_sec``, which covers sim_events_per_sec, frames_per_sec and
@@ -26,6 +35,7 @@ means the simulator hot path, not the machine, got slower.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -123,11 +133,55 @@ def compare(context, base, cur, suffixes, threshold, failures, lines,
                 f"(not in baseline)")
 
 
+def compare_pair(baseline_path, current_path, suffixes, threshold,
+                 failures, prefix=""):
+    """Compare one baseline/current artifact pair; append every
+    failing key to @p failures (prefixed with @p prefix so multi-pair
+    runs stay attributable)."""
+    start = len(failures)
+    base = load(baseline_path)
+    cur = load(current_path)
+    if base.get("bench") != cur.get("bench"):
+        sys.exit(
+            f"bench_compare: comparing different benches: "
+            f"{base.get('bench')!r} vs {cur.get('bench')!r}")
+
+    lines = []
+    paths = (baseline_path, current_path)
+    compare("<scalars>", scalar_metrics(base), scalar_metrics(cur),
+            suffixes, threshold, failures, lines, paths)
+
+    base_cells = cell_metrics(base, baseline_path)
+    cur_cells = cell_metrics(cur, current_path)
+    for name, metrics in base_cells.items():
+        if name not in cur_cells:
+            failures.append(f"cell {name!r} missing from current")
+            continue
+        compare(name, metrics, cur_cells[name], suffixes,
+                threshold, failures, lines, paths)
+    for name in cur_cells:
+        if name not in base_cells:
+            lines.append(f"  new       {name} (not in baseline)")
+
+    failures[start:] = [prefix + f for f in failures[start:]]
+    print(f"bench_compare: {baseline_path} -> {current_path} "
+          f"(bench {base.get('bench')!r}, "
+          f"threshold -{threshold:.0%})")
+    for line in lines:
+        print(line)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="BASELINE CURRENT, or baselines only with --current-dir")
+    parser.add_argument(
+        "--current-dir", default=None, metavar="DIR",
+        help="compare every BASELINE against DIR/<its basename>; "
+             "allows a glob of baselines and reports all failing "
+             "keys across all pairs before exiting")
     parser.add_argument(
         "--threshold", type=float, default=0.15,
         help="allowed fractional drop before failing (default 0.15)")
@@ -142,36 +196,35 @@ def main():
     if not suffixes:
         parser.error("--keys must name at least one suffix")
 
-    base = load(args.baseline)
-    cur = load(args.current)
-    if base.get("bench") != cur.get("bench"):
-        sys.exit(
-            f"bench_compare: comparing different benches: "
-            f"{base.get('bench')!r} vs {cur.get('bench')!r}")
+    # Pair up baselines and currents. Two-path mode keeps the classic
+    # CLI; --current-dir treats every positional as a baseline (so a
+    # shell glob works) and pairs each with DIR/<its basename>.
+    if args.current_dir is not None:
+        pairs = [(b, os.path.join(args.current_dir, os.path.basename(b)))
+                 for b in args.paths]
+    else:
+        if len(args.paths) != 2:
+            parser.error("expected BASELINE CURRENT, or a list of "
+                         "baselines with --current-dir=DIR")
+        pairs = [tuple(args.paths)]
 
     failures = []
-    lines = []
-    paths = (args.baseline, args.current)
-    compare("<scalars>", scalar_metrics(base), scalar_metrics(cur),
-            suffixes, args.threshold, failures, lines, paths)
-
-    base_cells = cell_metrics(base, args.baseline)
-    cur_cells = cell_metrics(cur, args.current)
-    for name, metrics in base_cells.items():
-        if name not in cur_cells:
-            failures.append(f"cell {name!r} missing from current")
+    for n, (baseline_path, current_path) in enumerate(pairs):
+        if n:
+            print()
+        if not os.path.exists(current_path):
+            # In glob mode a missing current artifact means the bench
+            # never ran (or crashed before writing); count it and keep
+            # checking the remaining pairs.
+            print(f"bench_compare: {baseline_path} -> {current_path}")
+            failures.append(f"{current_path} missing (bench did not "
+                            f"write its artifact)")
             continue
-        compare(name, metrics, cur_cells[name], suffixes,
-                args.threshold, failures, lines, paths)
-    for name in cur_cells:
-        if name not in base_cells:
-            lines.append(f"  new       {name} (not in baseline)")
+        prefix = (f"{os.path.basename(baseline_path)}: "
+                  if args.current_dir is not None else "")
+        compare_pair(baseline_path, current_path, suffixes,
+                     args.threshold, failures, prefix)
 
-    print(f"bench_compare: {args.baseline} -> {args.current} "
-          f"(bench {base.get('bench')!r}, "
-          f"threshold -{args.threshold:.0%})")
-    for line in lines:
-        print(line)
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

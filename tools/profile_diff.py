@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Diff two profile reports and fail on phase-mix or throughput shifts.
+
+Usage:
+    profile_diff.py BASELINE.json CURRENT.json [--share-delta=15]
+                    [--throughput-drop=0.7]
+
+Both inputs are ``campaign --profile`` artifacts ("bench": "profile").
+The comparison reads the top-level phase table -- the per-phase
+aggregates the report derives from its cell rows -- along two axes:
+
+  self_share       Each phase's share of total self time, compared as
+                   an absolute delta in percentage points. A phase
+                   whose share moves more than --share-delta (default
+                   15 pp) fails: the profile's *shape* changed, which
+                   either is the point of the PR (refresh the
+                   baseline) or is an accidental hot-path shift.
+  throughput_hz    Spans completed per second of inclusive phase
+                   time. Fails only on a drop past
+                   --throughput-drop (default 0.7, i.e. current
+                   below 30% of baseline): wall-clock rates are
+                   noisy across machines, so only collapse-scale
+                   drops are actionable. Zero baselines compare by
+                   sign, like bench_compare.
+
+Phases present in only one report are failures in both directions: a
+vanished phase means instrumentation was lost, a new phase means the
+baseline no longer pins the full mix. ALL failures are reported before
+the nonzero exit, so one CI run shows the whole damage. Missing or
+mangled input files die with a one-line error and a nonzero exit.
+
+CI gates ``campaign figD1 --profile`` against
+bench/baselines/BENCH_profile.json; when the phase mix changes on
+purpose, regenerate that snapshot (see "refreshing the baselines" in
+bench/README.md).
+"""
+
+import argparse
+import json
+import sys
+
+# Per-phase metric suffixes in a profile report's top-level table.
+SUFFIXES = (".count", ".total_ns", ".self_ns", ".min_ns", ".max_ns",
+            ".total_sec", ".self_sec", ".self_share", ".throughput_hz")
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"profile_diff: cannot read {path}: {exc}")
+    if not isinstance(report, dict):
+        sys.exit(f"profile_diff: {path}: not a JSON object")
+    if report.get("bench") != "profile":
+        sys.exit(f"profile_diff: {path}: not a profile report "
+                 f"(bench = {report.get('bench')!r})")
+    return report
+
+
+def phase_table(report, path):
+    """{phase: {metric: float}} from the top-level scalars.
+
+    The suffix list is closed and every suffix contains a dot, so the
+    split is unambiguous even though phase names contain dots too
+    ("detect.epoch.self_share" -> phase "detect.epoch"). Histogram
+    keys (".h<b>") are deliberately skipped: bucket counts shift with
+    clock granularity and are not a regression signal.
+    """
+    phases = {}
+    for key, value in report.items():
+        for suffix in SUFFIXES:
+            if not key.endswith(suffix):
+                continue
+            phase = key[:-len(suffix)]
+            if not phase or phase.startswith("trace."):
+                break
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                sys.exit(f"profile_diff: {path}: {key} value "
+                         f"{value!r} is not numeric")
+            phases.setdefault(phase, {})[suffix[1:]] = float(value)
+            break
+    return phases
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--share-delta", type=float, default=15.0,
+        help="allowed |self_share| move in percentage points "
+             "(default 15)")
+    parser.add_argument(
+        "--throughput-drop", type=float, default=0.7,
+        help="allowed fractional throughput_hz drop (default 0.7)")
+    args = parser.parse_args()
+    if not 0.0 < args.share_delta < 100.0:
+        parser.error("--share-delta must be in (0, 100)")
+    if not 0.0 < args.throughput_drop < 1.0:
+        parser.error("--throughput-drop must be in (0, 1)")
+
+    base = phase_table(load(args.baseline), args.baseline)
+    cur = phase_table(load(args.current), args.current)
+
+    failures = []
+    lines = []
+    for phase in sorted(base):
+        if phase not in cur:
+            failures.append(
+                f"phase {phase!r} vanished from current "
+                f"(instrumentation lost?)")
+            continue
+        b, c = base[phase], cur[phase]
+
+        b_share = 100.0 * b.get("self_share", 0.0)
+        c_share = 100.0 * c.get("self_share", 0.0)
+        delta = c_share - b_share
+        mark = "ok"
+        if abs(delta) > args.share_delta:
+            mark = "SHIFTED"
+            failures.append(
+                f"{phase}: self_share {b_share:.1f}% -> "
+                f"{c_share:.1f}% ({delta:+.1f} pp, limit "
+                f"±{args.share_delta:.0f} pp)")
+        lines.append(f"  {mark:8s} {phase}: share {b_share:5.1f}% -> "
+                     f"{c_share:5.1f}% ({delta:+.1f} pp)")
+
+        b_hz = b.get("throughput_hz", 0.0)
+        c_hz = c.get("throughput_hz", 0.0)
+        if b_hz < 0.0:
+            failures.append(f"{phase}: baseline throughput_hz "
+                            f"{b_hz:.6g} is negative (corrupt?)")
+        elif b_hz == 0.0:
+            if c_hz != 0.0:
+                lines.append(f"  appeared {phase}: throughput 0 -> "
+                             f"{c_hz:.3g} Hz (baseline pins no rate)")
+        else:
+            drop = (b_hz - c_hz) / b_hz
+            if drop > args.throughput_drop:
+                failures.append(
+                    f"{phase}: throughput_hz {b_hz:.3g} -> "
+                    f"{c_hz:.3g} ({-drop:+.0%}, limit "
+                    f"-{args.throughput_drop:.0%})")
+                lines.append(f"  SLOWED   {phase}: throughput "
+                             f"{b_hz:.3g} -> {c_hz:.3g} Hz")
+    for phase in sorted(cur):
+        if phase not in base:
+            failures.append(
+                f"phase {phase!r} not in baseline (new span site; "
+                f"refresh the baseline to pin it)")
+
+    print(f"profile_diff: {args.baseline} -> {args.current} "
+          f"({len(base)} baseline phases, share limit "
+          f"±{args.share_delta:.0f} pp, throughput limit "
+          f"-{args.throughput_drop:.0%})")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} profile regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("profile matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
